@@ -1,0 +1,25 @@
+# Convenience targets for the SAMR-DLB reproduction.
+
+.PHONY: install test bench figures fullscale examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# print every regenerated paper figure / ablation table
+figures:
+	pytest benchmarks/ --benchmark-only -q -s
+
+# the optional 24^3 / 4-level rerun of Fig. 7
+fullscale:
+	REPRO_FULLSCALE=1 pytest benchmarks/test_fullscale.py --benchmark-only -q -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f --quick || exit 1; done
+
+all: install test bench

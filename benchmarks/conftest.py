@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): these are *reproduction* benches -- the quantity of interest is the
+simulated result they print, not the wall-clock of the harness itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

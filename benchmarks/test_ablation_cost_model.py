@@ -1,0 +1,57 @@
+"""Ablation -- fidelity of the Eq. 1 cost model (paper Section 4.2).
+
+"This communication model is very simple so little overhead is introduced."
+How *accurate* is it?  For every global redistribution in real runs under
+three traffic regimes, compare the model's predicted cost (probe-derived
+alpha/beta + remembered delta) against the realised cost (migration time +
+repartition overhead).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.distsys.events import RedistributionEvent
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+TRAFFICS = ("constant", "diurnal", "bursty")
+
+
+def collect():
+    rows = []
+    for kind in TRAFFICS:
+        cfg = ExperimentConfig(
+            app_name="shockpool3d", network="wan", procs_per_group=2,
+            steps=6, traffic_kind=kind, traffic_level=0.3,
+        )
+        result = run_experiment(cfg, "distributed")
+        events = result.events.of_type(RedistributionEvent)
+        for e in events:
+            rel_err = abs(e.predicted_cost - e.elapsed) / e.elapsed
+            rows.append((kind, e.predicted_cost, e.elapsed, rel_err))
+    return rows
+
+
+def test_ablation_cost_model(benchmark):
+    rows = run_once(benchmark, collect)
+    print()
+    print(
+        format_table(
+            ["traffic", "predicted [s]", "actual [s]", "rel. error"],
+            rows,
+            title="Ablation: Eq. 1 predicted vs realised redistribution cost",
+        )
+    )
+    assert rows, "no redistributions fired in any regime"
+    by_kind = {}
+    for kind, _p, _a, err in rows:
+        by_kind.setdefault(kind, []).append(err)
+    const_err = sum(by_kind.get("constant", [1.0])) / len(by_kind.get("constant", [1]))
+    print(f"mean relative error under constant traffic: {const_err:.2%}")
+    # under steady traffic the probe sees the truth: the model is tight
+    assert const_err < 0.6
+    # predictions are the right order of magnitude in every regime
+    for kind, pred, actual, _err in rows:
+        assert pred > 0 and actual > 0
+        assert 0.1 < pred / actual < 10.0

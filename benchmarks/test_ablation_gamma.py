@@ -1,0 +1,53 @@
+"""Ablation -- the gate factor gamma (paper Section 4.4 / future work).
+
+"gamma is a user-defined parameter (default is 2.0) which identifies how
+much the computational gain must be for the redistribution to be invoked.
+The detailed sensitivity analysis of this parameter will be included in our
+future work."  This bench *is* that sensitivity analysis, on the simulated
+substrate: sweep gamma from always-fire (0) to never-fire (inf) and report
+execution time and redistribution count.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+GAMMAS = (0.0, 0.5, 2.0, 8.0, 1.0e9)
+
+
+def sweep_gamma():
+    rows = []
+    for gamma in GAMMAS:
+        cfg = ExperimentConfig(
+            app_name="shockpool3d", network="wan", procs_per_group=4,
+            steps=5, gamma=gamma,
+        )
+        r = run_experiment(cfg, "distributed")
+        rows.append((gamma, r.total_time, r.redistributions, r.balance_overhead))
+    return rows
+
+
+def test_ablation_gamma(benchmark):
+    rows = run_once(benchmark, sweep_gamma)
+    print()
+    print(
+        format_table(
+            ["gamma", "exec time [s]", "redistributions", "balance overhead [s]"],
+            [(f"{g:g}", t, n, b) for g, t, n, b in rows],
+            title="Ablation: gamma sensitivity (ShockPool3D, WAN, 4+4)",
+        )
+    )
+    by_gamma = {g: (t, n, b) for g, t, n, b in rows}
+    # never-fire is the slowest or ties: imbalance persists all run
+    t_never = by_gamma[1.0e9][0]
+    t_default = by_gamma[2.0][0]
+    assert by_gamma[1.0e9][1] == 0
+    assert t_default < t_never
+    # eager gating fires at least as many redistributions as the default
+    assert by_gamma[0.0][1] >= by_gamma[2.0][1]
+    # monotone redistribution count as gamma grows
+    counts = [n for _g, _t, n, _b in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,55 @@
+"""Ablation -- the imbalance-detection threshold ("if imbalance exists").
+
+Section 4.2: "First, the scheme checks the load distribution of the
+system.  If imbalance exists, the scheme calculates the amount of load
+needed to migrate" -- but the paper never says how much imbalance counts.
+This knob (`SchemeParams.imbalance_threshold`, max/min of
+capacity-normalised group loads) decides how often the gain/cost machinery
+-- probe included -- runs at all.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import SchemeParams
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.report import format_table
+
+THRESHOLDS = (1.0, 1.02, 1.05, 1.2, 1.5, 100.0)
+
+
+def sweep():
+    rows = []
+    for th in THRESHOLDS:
+        cfg = ExperimentConfig(
+            app_name="shockpool3d", network="wan", procs_per_group=4,
+            steps=6, traffic_level=0.45,
+            scheme_params=SchemeParams(imbalance_threshold=th),
+        )
+        r = run_experiment(cfg, "distributed")
+        rows.append((th, r.total_time, r.redistributions, r.probe_time))
+    return rows
+
+
+def test_ablation_threshold(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["threshold", "total [s]", "redistributions", "probe time [s]"],
+            rows,
+            title="Ablation: imbalance-detection threshold (ShockPool3D, WAN, 4+4)",
+        )
+    )
+    by_th = {th: (t, n, p) for th, t, n, p in rows}
+    # an effectively impossible threshold disables the global machinery
+    assert by_th[100.0][1] == 0
+    assert by_th[100.0][2] == 0.0  # and with it, all probing
+    # a hair trigger probes at least as often as the default
+    assert by_th[1.0][2] >= by_th[1.05][2]
+    # redistribution count decreases as the threshold loosens
+    counts = [n for _th, _t, n, _p in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # disabling the global phase costs real time on this moving workload
+    assert by_th[100.0][0] > min(t for _th, t, _n, _p in rows)

@@ -1,0 +1,23 @@
+"""Fig. 1 -- SAMR grid hierarchy: rebuild the depicted 4-level tree.
+
+Regenerates the paper's illustration from the real flag -> cluster ->
+regrid pipeline and prints per-level grid/cell counts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.figures import fig1_hierarchy
+
+
+def test_fig1_hierarchy(benchmark):
+    result = run_once(benchmark, fig1_hierarchy, domain_cells=32, max_levels=4)
+    print()
+    print(result.render())
+    # Fig. 1 shows a populated 4-level tree with more grids at finer levels
+    assert len(result.levels) == 4
+    ngrids = [g for _, g, _ in result.levels]
+    assert all(n > 0 for n in ngrids)
+    assert ngrids[-1] > ngrids[1]
+    result.hierarchy.validate()

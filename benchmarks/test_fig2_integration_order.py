@@ -1,0 +1,19 @@
+"""Fig. 2 -- integrated execution order (4 levels, refinement factor 2).
+
+The paper labels the recursive Berger--Colella order "1st" .. "15th"; the
+bench regenerates and checks it exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.figures import fig2_integration_order
+
+
+def test_fig2_integration_order(benchmark):
+    result = run_once(benchmark, fig2_integration_order, 4, 2)
+    print()
+    print(result.render())
+    assert result.matches_paper
+    assert result.order == [0, 1, 2, 3, 3, 2, 3, 3, 1, 2, 3, 3, 2, 3, 3]

@@ -1,0 +1,30 @@
+"""Fig. 3 -- parallel vs distributed execution, both running parallel DLB.
+
+Section 3's motivation: with the group-oblivious scheme, computation time is
+similar on the parallel machine and the distributed system, but the WAN
+makes communication blow up.  The bench regenerates the five-configuration
+comparison for ShockPool3D.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import ExperimentConfig
+from repro.harness.figures import fig3_parallel_vs_distributed
+
+
+def test_fig3_parallel_vs_distributed(benchmark):
+    base = ExperimentConfig(app_name="shockpool3d", network="wan", steps=4)
+    result = run_once(
+        benchmark, fig3_parallel_vs_distributed, configs=(1, 2, 4, 6, 8), base=base
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        # computation similar (both balanced), communication much larger
+        assert row.distributed_compute < 2.0 * row.parallel_compute
+        assert row.distributed_comm > 2.0 * row.parallel_comm
+    # the communication gap widens with processor count (Fig. 3's shape)
+    gaps = [r.distributed_comm - r.parallel_comm for r in result.rows]
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,27 @@
+"""Fig. 4 -- distributed-DLB flowchart: trace the real control flow.
+
+Runs the scheme and prints one line per control-flow event: the
+``Gain > gamma * Cost`` gate per level-0 step, global redistributions, and
+the local balancing marks of the right-hand loop.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import ExperimentConfig
+from repro.harness.figures import fig4_flowchart_trace
+
+
+def test_fig4_flowchart_trace(benchmark):
+    cfg = ExperimentConfig(app_name="shockpool3d", network="wan",
+                           procs_per_group=2, steps=4)
+    result = run_once(benchmark, fig4_flowchart_trace, cfg)
+    print()
+    print(result.render())
+    # the gate is evaluated exactly once per coarse step (left loop)
+    assert result.ndecisions == 4
+    # redistribution only ever follows a positive gate decision
+    assert 0 < result.nredistributions <= result.ndecisions
+    # the right-hand loop balances locally many times per coarse step
+    assert result.nlocal_balances > result.ndecisions

@@ -1,0 +1,28 @@
+"""Fig. 5 -- balancing points in the integration order.
+
+"the local balancing process may be invoked after each smaller time-step
+while the global balancing process may be invoked after each time-step of
+the top level only.  Therefore, there are fewer global balancing processes
+during the run-time as compared to local balancing processes."
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import ExperimentConfig
+from repro.harness.figures import fig5_balance_points
+
+
+def test_fig5_balance_points(benchmark):
+    cfg = ExperimentConfig(app_name="shockpool3d", network="wan",
+                           procs_per_group=2, steps=2, max_levels=3)
+    result = run_once(benchmark, fig5_balance_points, cfg)
+    print()
+    print(result.render())
+    assert result.globals_per_coarse_step == 1
+    # local marks exist and only after steps that rebuilt a finer level
+    all_marks = [m for _s, _l, marks in result.steps for m in marks]
+    assert any("local" in m for m in all_marks)
+    nlocal = sum(1 for m in all_marks if "local" in m)
+    assert nlocal > result.globals_per_coarse_step

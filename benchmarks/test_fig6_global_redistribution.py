@@ -1,0 +1,23 @@
+"""Fig. 6 -- the global-redistribution example: a boundary shift from the
+overloaded group to the underloaded one, moving only level-0 grids.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness import ExperimentConfig
+from repro.harness.figures import fig6_global_redistribution
+
+
+def test_fig6_global_redistribution(benchmark):
+    cfg = ExperimentConfig(app_name="shockpool3d", network="wan",
+                           procs_per_group=2, steps=6)
+    result = run_once(benchmark, fig6_global_redistribution, cfg)
+    print()
+    print(result.render())
+    assert result.moved_grids > 0
+    assert result.moved_cells > 0
+    # the shift moves the groups toward balance (the shaded slice of Fig. 6)
+    assert result.imbalance(result.after) < result.imbalance(result.before)
+    assert result.imbalance(result.after) < 1.5

@@ -1,0 +1,55 @@
+"""Fig. 8 -- efficiency ``E(1)/(E*P)`` for both datasets.
+
+Paper: "the efficiency by using distributed DLB is improved significantly.
+For AMR64, the efficiency is improved by 9.9%-84.8%; for ShockPool3D, the
+efficiency is increased by 2.6%-79.4%."
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.figures import fig8_efficiency
+from repro.harness.report import comparison_block, format_percent
+
+
+def _check_and_print(result):
+    print()
+    print(result.render())
+    lo, hi = result.measured_range
+    print(
+        comparison_block(
+            f"Fig. 8 / {result.app}",
+            f"efficiency improved by {format_percent(result.paper_range[0])}.."
+            f"{format_percent(result.paper_range[1])}",
+            f"efficiency improved by {format_percent(lo)}..{format_percent(hi)}",
+            "shape holds: distributed DLB more efficient at every scale",
+        )
+    )
+    rows = result.efficiency_rows()
+    # efficiency declines with processor count for both schemes (comm share
+    # grows), and the distributed scheme dominates at every configuration
+    for _label, e_par, e_dist, gain in rows:
+        assert 0 < e_par <= 1.05
+        assert 0 < e_dist <= 1.05
+        assert gain > -0.05
+    assert all(g > 0 for _l, _p, _d, g in rows[1:])
+    par_effs = [e for _l, e, _d, _g in rows]
+    assert par_effs[0] > par_effs[-1]
+    # the efficiency gap widens with scale, as in the paper
+    gains = [g for _l, _p, _d, g in rows]
+    assert gains[-1] > gains[0]
+
+
+def test_fig8_shockpool3d_wan(benchmark):
+    result = run_once(
+        benchmark, fig8_efficiency, "shockpool3d", configs=(1, 2, 4, 6, 8), steps=6
+    )
+    _check_and_print(result)
+
+
+def test_fig8_amr64_lan(benchmark):
+    result = run_once(
+        benchmark, fig8_efficiency, "amr64", configs=(1, 2, 4, 6, 8), steps=6
+    )
+    _check_and_print(result)

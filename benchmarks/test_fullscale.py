@@ -1,0 +1,54 @@
+"""Optional full-scale rerun of Fig. 7 (bigger domain, four levels).
+
+Skipped by default -- it multiplies the benchmark suite's runtime several
+times over.  Enable with::
+
+    REPRO_FULLSCALE=1 pytest benchmarks/test_fullscale.py --benchmark-only -s
+
+The standard suite runs 16^3/3-level workloads; this one uses 24^3 root
+cells with four levels (deeper sub-cycling: 1+2+4+8 = 15 solves per coarse
+step, the paper's Fig. 2 shape), which grows both the absolute workload and
+the adaptation churn the balancers must track.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.harness import ExperimentConfig
+from repro.harness.sweep import run_sweep
+from repro.harness.report import format_percent, format_table
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULLSCALE") != "1",
+    reason="full-scale run; set REPRO_FULLSCALE=1 to enable",
+)
+
+
+def sweep():
+    base = ExperimentConfig(
+        app_name="shockpool3d", network="wan", steps=4,
+        domain_cells=24, max_levels=4, traffic_level=0.45,
+    )
+    return run_sweep(base, (1, 2, 4), with_sequential=False)
+
+
+def test_fullscale_shockpool3d(benchmark):
+    result = run_once(benchmark, sweep)
+    rows = [
+        (p.config.label, p.parallel.total_time, p.distributed.total_time,
+         format_percent(p.improvement))
+        for p in result.pairs
+    ]
+    print()
+    print(format_table(
+        ["config", "parallel [s]", "distributed [s]", "improvement"],
+        rows,
+        title="Full scale: ShockPool3D 24^3, 4 levels, WAN",
+    ))
+    imps = result.improvements
+    assert imps[-1] > 0
+    assert imps[-1] > imps[0]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Live AMR numerics: advect a blob and watch the grids chase it.
+
+Everything the cost simulator abstracts as "work units" exists for real in
+``repro.amr.solver``: this demo runs donor-cell advection on a
+self-adapting 2-D hierarchy and renders the solution and the grid layout as
+ASCII frames.
+
+    python examples/advection_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.solver import AdvectionDriver
+
+SHADES = " .:-=+*#%@"
+
+
+def render(driver: AdvectionDriver, width: int = 48) -> str:
+    """ASCII frame: solution intensity over the unit square, with the
+    per-level grid counts and the composite mass as a caption."""
+    pts = []
+    for j in range(width // 2):
+        for i in range(width):
+            pts.append((i / width, 1.0 - (j + 0.5) / (width // 2)))
+    vals = driver.sample(np.array([[x, y] for x, y in pts]))
+    vmax = max(vals.max(), 1e-9)
+    lines = []
+    k = 0
+    for j in range(width // 2):
+        row = []
+        for i in range(width):
+            v = vals[k] / vmax
+            row.append(SHADES[min(len(SHADES) - 1, int(v * (len(SHADES) - 1) + 0.5))])
+            k += 1
+        lines.append("".join(row))
+    counts = [len(driver.hierarchy.level_grids(l))
+              for l in range(driver.hierarchy.max_levels)]
+    lines.append(f"t={driver.time:5.3f}  grids/level={counts}  "
+                 f"mass={driver.total_mass():.5f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    def blob(x, y):
+        return np.exp(-((x - 0.25) ** 2 + (y - 0.35) ** 2) / (2 * 0.06**2))
+
+    driver = AdvectionDriver(
+        domain_cells=32,
+        velocity=(0.55, 0.25),
+        initial=blob,
+        ndim=2,
+        max_levels=3,
+        threshold=0.04,
+    )
+    print("donor-cell advection on a self-adapting 3-level hierarchy")
+    print(render(driver))
+    for frame in range(3):
+        driver.run(6)
+        print()
+        print(render(driver))
+    driver.hierarchy.validate()
+    print("\nhierarchy valid; the refined region followed the blob.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""AMR64 on a shared LAN: the paper's second dataset.
+
+AMR64 models galaxy-cluster formation: many clumps of refinement scattered
+over the whole domain, heavier per-cell solver cost (hyperbolic + elliptic +
+particles).  The paper ran it on two machines at ANL joined by shared
+Gigabit Ethernet.  This example sweeps the configurations and additionally
+shows *why* the distributed scheme wins: the remote-traffic breakdown.
+
+    python examples/amr64_lan.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import ExperimentConfig, format_percent, format_table, run_sweep
+
+
+def main(quick: bool = False) -> None:
+    configs = (1, 2) if quick else (1, 2, 4, 6, 8)
+    steps = 3 if quick else 6
+    base = ExperimentConfig(
+        app_name="amr64",
+        network="lan",
+        steps=steps,
+        traffic_level=0.45,
+    )
+    print("system under test: two machines at ANL over shared Gigabit Ethernet")
+    print(f"workload: AMR64 (clustered refinement, elliptic solver), "
+          f"{steps} coarse steps\n")
+
+    sweep = run_sweep(base, configs)
+
+    rows = []
+    for p in sweep.pairs:
+        par, dist = p.parallel, p.distributed
+        rows.append(
+            (
+                p.config.label,
+                par.total_time,
+                dist.total_time,
+                format_percent(p.improvement),
+                par.remote_comm_busy,
+                dist.remote_comm_busy,
+            )
+        )
+    print(
+        format_table(
+            ["config", "parallel [s]", "distributed [s]", "improvement",
+             "remote busy par [s]", "remote busy dist [s]"],
+            rows,
+            title="AMR64 on the LAN system (paper Fig. 7, left)",
+        )
+    )
+    print(
+        f"\naverage improvement: {format_percent(sweep.average_improvement)} "
+        "(paper reports 9.0%-45.9%, average 29.7%)"
+    )
+    print(
+        "note the remote-busy columns: the parallel scheme scatters children "
+        "across machines and pays for it on the shared link at every fine "
+        "sub-step; the distributed scheme's remote traffic is level-0 ghost "
+        "exchange plus the occasional gated redistribution."
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

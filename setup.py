@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work on toolchains without
+the `wheel` package (PEP 660 editable builds need it; `setup.py develop`
+does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""SAMR substrate: boxes, grids, hierarchy, clustering, regridding, integration.
+
+This subpackage is a from-scratch structured-AMR kernel in the Berger--Colella
+/ ENZO mould, faithful in every respect the DLB schemes can observe: grid
+geometry, tree structure, per-level sub-cycling order and dynamically evolving
+workload.
+"""
+
+from .box import Box
+from .clustering import ClusterParams, cluster_flags, fill_efficiency
+from .flagging import FlagField, buffer_flags
+from .grid import Grid, GridIdAllocator
+from .hierarchy import GridHierarchy
+from .integrator import IntegratorHooks, SAMRIntegrator, SubStep, integration_order
+from .regrid import RegridParams, assemble_flags, regrid_level
+
+__all__ = [
+    "Box",
+    "ClusterParams",
+    "cluster_flags",
+    "fill_efficiency",
+    "FlagField",
+    "buffer_flags",
+    "Grid",
+    "GridIdAllocator",
+    "GridHierarchy",
+    "IntegratorHooks",
+    "SAMRIntegrator",
+    "SubStep",
+    "integration_order",
+    "RegridParams",
+    "assemble_flags",
+    "regrid_level",
+]

@@ -1,0 +1,12 @@
+"""Synthetic SAMR applications (refinement-behaviour generators).
+
+See :mod:`repro.amr.applications.base` for the protocol and the mapping to
+the paper's datasets.
+"""
+
+from .amr64 import AMR64
+from .base import AMRApplication
+from .blastwave import BlastWave
+from .shockpool3d import ShockPool3D
+
+__all__ = ["AMRApplication", "AMR64", "ShockPool3D", "BlastWave"]

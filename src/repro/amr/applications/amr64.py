@@ -1,0 +1,124 @@
+"""AMR64: galaxy-cluster formation with scattered, clustered refinement.
+
+The paper (Section 5): "AMR64 is designed to simulate the formation of a
+cluster of galaxies, so many grids are randomly distributed across the whole
+computational domain."  AMR64 "uses hyperbolic (fluid) equation and elliptic
+(Poisson's) equation as well as a set of ordinary differential equations for
+the particle trajectories", so its per-cell solver cost is markedly higher
+than ShockPool3D's.
+
+Model
+-----
+``nclumps`` over-density clumps (proto-halos) are seeded at deterministic
+pseudo-random positions.  Each clump ``k`` has
+
+* a slow drift velocity (halos stream along filaments),
+* a radius that *grows* with time as the halo accretes,
+  ``r_k(t) = r0_k * (1 + growth * t)``,
+* per-level flag radii shrinking geometrically with depth (only the dense
+  core needs the finest levels).
+
+All randomness is drawn once in ``__init__`` from a seeded generator, so a
+given seed yields one deterministic "dataset" -- two schemes run on the same
+seed see the identical workload, mirroring the paper's paired methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..box import Box
+from .base import AMRApplication
+
+__all__ = ["AMR64"]
+
+
+class AMR64(AMRApplication):
+    """Clustered random refinement across the whole domain (cosmology).
+
+    Parameters
+    ----------
+    nclumps:
+        Number of over-density clumps.
+    seed:
+        Seed for the clump ensemble (positions, velocities, radii).
+    base_radius:
+        Mean level-0 flag radius of a clump (unit-cube lengths).
+    growth:
+        Fractional radius growth per simulation time unit (accretion).
+    level_shrink:
+        Flag-radius ratio between consecutive levels (dense core fraction).
+    elliptic_cost:
+        Extra work multiplier relative to a pure hyperbolic solver,
+        modelling the Poisson solve and particle pushes.
+    """
+
+    name = "AMR64"
+
+    def __init__(
+        self,
+        domain_cells: int = 32,
+        refinement_ratio: int = 2,
+        max_levels: int = 4,
+        ndim: int = 3,
+        nclumps: int = 24,
+        seed: int = 64,
+        base_radius: float = 0.08,
+        growth: float = 0.02,
+        level_shrink: float = 0.62,
+        elliptic_cost: float = 2.5,
+    ) -> None:
+        super().__init__(domain_cells, refinement_ratio, max_levels, ndim)
+        if nclumps < 1:
+            raise ValueError(f"nclumps must be >= 1, got {nclumps}")
+        if not 0 < level_shrink <= 1:
+            raise ValueError(f"level_shrink must be in (0, 1], got {level_shrink}")
+        if base_radius <= 0:
+            raise ValueError(f"base_radius must be positive, got {base_radius}")
+        self.nclumps = int(nclumps)
+        self.seed = int(seed)
+        self.growth = float(growth)
+        self.level_shrink = float(level_shrink)
+        self.elliptic_cost = float(elliptic_cost)
+        rng = np.random.default_rng(seed)
+        #: clump centres in the unit cube, shape (nclumps, ndim)
+        self.centers0 = rng.random((self.nclumps, ndim))
+        #: drift velocities, shape (nclumps, ndim); slow compared to the cube
+        self.velocities = rng.normal(0.0, 0.01, (self.nclumps, ndim))
+        #: level-0 flag radii, log-normal scatter around base_radius
+        self.radii0 = base_radius * np.exp(rng.normal(0.0, 0.35, self.nclumps))
+
+    # ------------------------------------------------------------------ #
+
+    def clump_centers(self, time: float) -> np.ndarray:
+        """Clump centres at ``time`` (periodic wrap inside the unit cube)."""
+        return (self.centers0 + self.velocities * time) % 1.0
+
+    def clump_radii(self, level: int, time: float) -> np.ndarray:
+        """Per-clump flag radii at ``level`` and ``time``."""
+        r = self.radii0 * (1.0 + self.growth * time)
+        return r * self.level_shrink**level
+
+    def flags(self, level: int, box: Box, time: float) -> np.ndarray:
+        centers = self.cell_centers(level, box)
+        flags = np.zeros(box.shape, dtype=bool)
+        ccenters = self.clump_centers(time)
+        radii = self.clump_radii(level, time)
+        for k in range(self.nclumps):
+            r2 = radii[k] ** 2
+            # quick reject: clump sphere vs box bounding check (physical)
+            h = self.cell_width(level)
+            lo_phys = np.array(box.lo) * h
+            hi_phys = np.array(box.hi) * h
+            nearest = np.clip(ccenters[k], lo_phys, hi_phys)
+            if np.sum((nearest - ccenters[k]) ** 2) > r2:
+                continue
+            d2 = np.zeros((1,) * self.ndim)
+            for d in range(self.ndim):
+                d2 = d2 + (centers[d] - ccenters[k, d]) ** 2
+            flags |= np.broadcast_to(d2 <= r2, box.shape)
+        return flags
+
+    def work_per_cell(self, level: int) -> float:
+        """Hyperbolic + elliptic + particle cost (heavier than ShockPool3D)."""
+        return self.elliptic_cost

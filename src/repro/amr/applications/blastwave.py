@@ -1,0 +1,79 @@
+"""BlastWave: an expanding spherical blast (Sedov-style), third application.
+
+Not one of the paper's two datasets -- included as the extra runnable
+scenario the examples exercise, and as a stress case for the balancers: the
+refined region is a thin *spherical shell* whose area (and hence workload)
+grows quadratically with radius, while staying geometrically centred.  The
+symmetric growth makes it a useful control: inter-group imbalance stays small
+(both groups gain work at the same rate), so a correct gain/cost gate should
+fire *rarely* -- tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..box import Box
+from .base import AMRApplication
+
+__all__ = ["BlastWave"]
+
+
+class BlastWave(AMRApplication):
+    """Expanding spherical shock shell centred in the domain.
+
+    Parameters
+    ----------
+    center:
+        Blast centre in the unit cube (default: domain centre).
+    speed:
+        Shell radial speed (unit-cube lengths per time unit).
+    start_radius:
+        Shell radius at ``time = 0``.
+    thickness_cells:
+        Half-thickness of the flagged shell in cells of the flagged level.
+    """
+
+    name = "BlastWave"
+
+    def __init__(
+        self,
+        domain_cells: int = 32,
+        refinement_ratio: int = 2,
+        max_levels: int = 4,
+        ndim: int = 3,
+        center=None,
+        speed: float = 0.05,
+        start_radius: float = 0.1,
+        thickness_cells: float = 1.5,
+    ) -> None:
+        super().__init__(domain_cells, refinement_ratio, max_levels, ndim)
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if start_radius < 0:
+            raise ValueError(f"start_radius must be >= 0, got {start_radius}")
+        if thickness_cells <= 0:
+            raise ValueError(f"thickness_cells must be positive, got {thickness_cells}")
+        self.center = np.full(ndim, 0.5) if center is None else np.asarray(center, dtype=float)
+        if self.center.shape != (ndim,):
+            raise ValueError(f"center must have {ndim} components")
+        self.speed = float(speed)
+        self.start_radius = float(start_radius)
+        self.thickness_cells = float(thickness_cells)
+
+    def radius(self, time: float) -> float:
+        """Shell radius at ``time``."""
+        return self.start_radius + self.speed * time
+
+    def flags(self, level: int, box: Box, time: float) -> np.ndarray:
+        centers = self.cell_centers(level, box)
+        d2 = np.zeros((1,) * self.ndim)
+        for d in range(self.ndim):
+            d2 = d2 + (centers[d] - self.center[d]) ** 2
+        r = self.radius(time)
+        half = self.thickness_cells * self.cell_width(level)
+        dist = np.sqrt(d2) - r
+        return np.broadcast_to(np.abs(dist) <= half, box.shape).copy()
+
+    def work_per_cell(self, level: int) -> float:
+        return 1.0

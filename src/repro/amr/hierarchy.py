@@ -1,0 +1,261 @@
+"""The SAMR grid hierarchy: a tree of grids over refinement levels (Fig. 1).
+
+A hierarchy owns every :class:`~repro.amr.grid.Grid` in the simulation and
+maintains the tree structure the paper's Fig. 1 shows: level 0 covers the
+whole computational domain; each finer level consists of grids nested inside
+(and attached to) a single parent grid one level coarser.
+
+Invariants enforced here (and property-tested in ``tests/``):
+
+* grids on one level are pairwise disjoint;
+* every grid at level ``l >= 1`` is fully nested inside its parent's
+  refined footprint;
+* parent/child links are consistent both ways;
+* level-0 grids tile the domain exactly (checked on construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .box import Box
+from .grid import Grid, GridIdAllocator
+
+__all__ = ["GridHierarchy"]
+
+
+class GridHierarchy:
+    """Tree of grids across refinement levels.
+
+    Parameters
+    ----------
+    domain:
+        The computational domain in level-0 coordinates.
+    refinement_ratio:
+        Mesh refinement factor between consecutive levels (paper uses 2).
+    max_levels:
+        Maximum number of levels (level indices ``0 .. max_levels-1``).
+    """
+
+    def __init__(self, domain: Box, refinement_ratio: int = 2, max_levels: int = 4) -> None:
+        if refinement_ratio < 2:
+            raise ValueError(f"refinement ratio must be >= 2, got {refinement_ratio}")
+        if max_levels < 1:
+            raise ValueError(f"max_levels must be >= 1, got {max_levels}")
+        if domain.is_empty:
+            raise ValueError("domain must be non-empty")
+        self.domain = domain
+        self.refinement_ratio = int(refinement_ratio)
+        self.max_levels = int(max_levels)
+        self._grids: Dict[int, Grid] = {}
+        self._levels: List[List[int]] = [[] for _ in range(max_levels)]
+        self._ids = GridIdAllocator()
+        #: bumped on every structural change; consumers key caches on it
+        self.version = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def create_root_grids(self, boxes: Sequence[Box], work_per_cell: float = 1.0) -> List[Grid]:
+        """Create the level-0 grids; ``boxes`` must tile the domain exactly.
+
+        Returns the created grids in the order given.
+        """
+        if self._levels[0]:
+            raise ValueError("root grids already exist")
+        total = 0
+        for i, box in enumerate(boxes):
+            if not self.domain.contains(box):
+                raise ValueError(f"root box {box} is not inside domain {self.domain}")
+            for other in boxes[:i]:
+                if box.intersects(other):
+                    raise ValueError(f"root boxes overlap: {box} and {other}")
+            total += box.ncells
+        if total != self.domain.ncells:
+            raise ValueError(
+                f"root boxes cover {total} cells but the domain has {self.domain.ncells}"
+            )
+        return [self._insert(0, box, None, work_per_cell) for box in boxes]
+
+    def add_grid(
+        self,
+        level: int,
+        box: Box,
+        parent_gid: Optional[int] = None,
+        work_per_cell: float = 1.0,
+    ) -> Grid:
+        """Add one grid; validates nesting and disjointness."""
+        if not 0 <= level < self.max_levels:
+            raise ValueError(f"level {level} out of range [0, {self.max_levels})")
+        if level == 0:
+            raise ValueError("use create_root_grids for level 0")
+        if parent_gid is None:
+            raise ValueError("finer grids need a parent_gid")
+        parent = self.grid(parent_gid)
+        if parent.level != level - 1:
+            raise ValueError(
+                f"parent {parent_gid} is at level {parent.level}, expected {level - 1}"
+            )
+        if not parent.box.refine(self.refinement_ratio).contains(box):
+            raise ValueError(
+                f"child box {box} not nested in parent {parent_gid}'s refined box "
+                f"{parent.box.refine(self.refinement_ratio)}"
+            )
+        for gid in self._levels[level]:
+            if self._grids[gid].box.intersects(box):
+                raise ValueError(f"box {box} overlaps existing grid {gid} on level {level}")
+        return self._insert(level, box, parent_gid, work_per_cell)
+
+    def _insert(
+        self, level: int, box: Box, parent_gid: Optional[int], work_per_cell: float
+    ) -> Grid:
+        gid = self._ids.allocate()
+        grid = Grid(gid=gid, level=level, box=box, work_per_cell=work_per_cell,
+                    parent_gid=parent_gid)
+        self._grids[gid] = grid
+        self._levels[level].append(gid)
+        self.version += 1
+        if parent_gid is not None:
+            self._grids[parent_gid]._add_child(gid)
+        return grid
+
+    def remove_grid(self, gid: int) -> None:
+        """Remove a grid and its entire subtree of descendants."""
+        grid = self.grid(gid)
+        for child in list(grid.children):
+            self.remove_grid(child)
+        if grid.parent_gid is not None:
+            self._grids[grid.parent_gid]._remove_child(gid)
+        self._levels[grid.level].remove(gid)
+        del self._grids[gid]
+        self.version += 1
+
+    def clear_level(self, level: int) -> None:
+        """Remove every grid at ``level`` and below (finer).  Level 0 is kept."""
+        if level == 0:
+            raise ValueError("cannot clear level 0")
+        for gid in list(self._levels[level]):
+            if gid in self._grids:
+                self.remove_grid(gid)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def grid(self, gid: int) -> Grid:
+        """Grid by id (KeyError if unknown)."""
+        return self._grids[gid]
+
+    def has_grid(self, gid: int) -> bool:
+        return gid in self._grids
+
+    def level_grids(self, level: int) -> List[Grid]:
+        """Grids at ``level`` in creation order."""
+        return [self._grids[g] for g in self._levels[level]]
+
+    def all_grids(self) -> List[Grid]:
+        """Every grid, coarsest level first."""
+        return [g for level in self._levels for g in (self._grids[i] for i in level)]
+
+    @property
+    def ngrids(self) -> int:
+        return len(self._grids)
+
+    @property
+    def nlevels(self) -> int:
+        """Number of levels that currently hold at least one grid."""
+        n = 0
+        for i, level in enumerate(self._levels):
+            if level:
+                n = i + 1
+        return n
+
+    def level_domain(self, level: int) -> Box:
+        """The whole domain expressed in level-``level`` coordinates."""
+        return self.domain.refine(self.refinement_ratio**level)
+
+    def level_workload(self, level: int) -> float:
+        """Total work units for one time step at ``level``."""
+        return sum(g.workload for g in self.level_grids(level))
+
+    def total_cells(self) -> int:
+        return sum(g.ncells for g in self._grids.values())
+
+    def subtree(self, gid: int) -> List[Grid]:
+        """The grid and all its descendants (pre-order)."""
+        grid = self.grid(gid)
+        out = [grid]
+        for child in grid.children:
+            out.extend(self.subtree(child))
+        return out
+
+    def descendants_of(self, gids: Iterable[int]) -> List[Grid]:
+        """All strict descendants of the given grids (no duplicates)."""
+        seen: Dict[int, Grid] = {}
+        for gid in gids:
+            for g in self.subtree(gid)[1:]:
+                seen[g.gid] = g
+        return list(seen.values())
+
+    # ------------------------------------------------------------------ #
+    # adjacency (sibling ghost-zone exchange volumes)
+    # ------------------------------------------------------------------ #
+
+    def sibling_pairs(self, level: int, ghost: int = 1) -> List[Tuple[int, int, int]]:
+        """Adjacent grid pairs at ``level`` and their ghost-exchange volume.
+
+        Returns ``(gid_a, gid_b, cells)`` with ``gid_a < gid_b`` for each pair
+        of grids within ``ghost`` cells of each other.  The volume is the
+        ghost-cell count from :meth:`repro.amr.box.Box.shared_face_area`.
+        """
+        # Sweep along axis 0: grids sorted by lo[0]; for a given grid only
+        # grids whose lo[0] is within reach can be adjacent, so the inner
+        # loop terminates early.  Turns the all-pairs scan into ~O(n log n)
+        # for the slab/clustered layouts SAMR produces.
+        grids = sorted(self.level_grids(level), key=lambda g: (g.box.lo, g.gid))
+        out: List[Tuple[int, int, int]] = []
+        for i, a in enumerate(grids):
+            reach = a.box.hi[0] + ghost
+            for b in grids[i + 1 :]:
+                if b.box.lo[0] > reach:
+                    break
+                area = a.box.shared_face_area(b.box, ghost)
+                if area > 0:
+                    pair = (a.gid, b.gid) if a.gid < b.gid else (b.gid, a.gid)
+                    out.append((pair[0], pair[1], area))
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises AssertionError on breach.
+
+        Intended for tests and debugging -- not called on hot paths.
+        """
+        for level_idx, level in enumerate(self._levels):
+            grids = [self._grids[g] for g in level]
+            for g in grids:
+                assert g.level == level_idx, f"grid {g.gid} level mismatch"
+            for i, a in enumerate(grids):
+                for b in grids[i + 1 :]:
+                    assert not a.box.intersects(b.box), (
+                        f"grids {a.gid} and {b.gid} overlap on level {level_idx}"
+                    )
+        for g in self._grids.values():
+            if g.level > 0:
+                parent = self._grids[g.parent_gid]
+                assert g.gid in parent.children, f"grid {g.gid} missing from parent's children"
+                assert parent.box.refine(self.refinement_ratio).contains(g.box), (
+                    f"grid {g.gid} not nested in parent {parent.gid}"
+                )
+                assert self.level_domain(g.level).contains(g.box), (
+                    f"grid {g.gid} escapes the domain"
+                )
+            for child in g.children:
+                assert self._grids[child].parent_gid == g.gid
+        root_cells = sum(g.ncells for g in self.level_grids(0))
+        assert root_cells == self.domain.ncells, "level 0 does not tile the domain"

@@ -1,0 +1,169 @@
+"""Berger--Colella recursive time integration (paper Fig. 2 / Fig. 5).
+
+The SAMR integration algorithm advances level ``l`` by its time step
+``dt(l)``, then recursively advances level ``l+1`` ``r`` times with time step
+``dt(l)/r`` until the finer level catches up with the coarser one.  For four
+levels and a refinement factor of 2 this produces the 15-step order the
+paper's Fig. 2 labels "1st" .. "15th":
+
+    level: 0 1 2 3 3 2 3 3 1 2 3 3 2 3 3
+
+Hook points reproduce Fig. 5:
+
+* ``regrid``        -- after each level-``l`` step, level ``l+1`` is rebuilt;
+* ``local_balance`` -- after every regrid of a finer level (the "local
+  balancing" marks in Fig. 5);
+* ``global_balance``-- once per level-0 time step only (the "global
+  balancing" marks in Fig. 5 / the left loop of Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .hierarchy import GridHierarchy
+
+__all__ = ["SubStep", "IntegratorHooks", "SAMRIntegrator", "integration_order"]
+
+
+def integration_order(nlevels: int, ratio: int = 2) -> List[int]:
+    """The sequence of level indices visited in one coarse time step.
+
+    ``integration_order(4, 2)`` reproduces Fig. 2's 1st..15th sequence.
+    Levels are advanced depth-first: each level-``l`` step is followed by
+    ``ratio`` steps of level ``l+1`` (when that level exists).
+    """
+    if nlevels < 1:
+        raise ValueError(f"nlevels must be >= 1, got {nlevels}")
+    if ratio < 2:
+        raise ValueError(f"ratio must be >= 2, got {ratio}")
+
+    order: List[int] = []
+
+    def visit(level: int) -> None:
+        order.append(level)
+        if level + 1 < nlevels:
+            for _ in range(ratio):
+                visit(level + 1)
+
+    visit(0)
+    return order
+
+
+@dataclass(frozen=True)
+class SubStep:
+    """One solver invocation at one level.
+
+    ``seq`` is the 1-based position in the coarse step's execution order
+    (the "1st", "2nd", ... labels of Fig. 2); ``coarse_step`` numbers the
+    enclosing level-0 step from 0.
+    """
+
+    coarse_step: int
+    seq: int
+    level: int
+    time: float
+    dt: float
+
+
+class IntegratorHooks:
+    """Callbacks the integrator drives.  Subclass and override what you need.
+
+    The default implementation is inert, which makes the integrator usable
+    as a pure execution-order generator in tests.
+    """
+
+    def solve(self, step: SubStep) -> None:
+        """Advance the solver on every grid of ``step.level`` by ``step.dt``."""
+
+    def regrid(self, level: int, time: float) -> None:
+        """Rebuild level ``level + 1`` from flags on ``level``."""
+
+    def local_balance(self, level: int, time: float) -> None:
+        """Balance the (re)built grids at ``level`` (Fig. 5 'local' marks)."""
+
+    def global_balance(self, time: float) -> None:
+        """Inter-group balance opportunity, once per level-0 step (Fig. 4)."""
+
+    def synchronize(self, level: int, time: float) -> None:
+        """Called after level ``level + 1`` finished its sub-cycle and has
+        caught up with ``level`` -- the Berger--Colella point where fine
+        data is restricted onto the coarse grid (and fluxes refluxed)."""
+
+
+class SAMRIntegrator:
+    """Drives the recursive integration of a hierarchy through coarse steps.
+
+    Parameters
+    ----------
+    hierarchy:
+        The grid hierarchy to advance.
+    hooks:
+        Callbacks for solving/regridding/balancing.
+    dt0:
+        Level-0 time step (finer levels use ``dt0 / ratio**level``).
+    """
+
+    def __init__(
+        self,
+        hierarchy: GridHierarchy,
+        hooks: IntegratorHooks,
+        dt0: float = 1.0,
+    ) -> None:
+        if dt0 <= 0:
+            raise ValueError(f"dt0 must be positive, got {dt0}")
+        self.hierarchy = hierarchy
+        self.hooks = hooks
+        self.dt0 = float(dt0)
+        self.time = 0.0
+        self.coarse_steps_done = 0
+        #: trace of every solver invocation, for Fig. 2 / Fig. 5 style output
+        self.trace: List[SubStep] = []
+
+    def dt(self, level: int) -> float:
+        """Time step at ``level``."""
+        return self.dt0 / (self.hierarchy.refinement_ratio**level)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, ncoarse_steps: int) -> None:
+        """Advance the hierarchy by ``ncoarse_steps`` level-0 steps."""
+        for _ in range(ncoarse_steps):
+            self.step()
+
+    def step(self) -> None:
+        """One full level-0 time step, including all finer sub-cycles.
+
+        Mirrors Fig. 4: the global balancing decision runs once, before the
+        level-0 solve (equivalently: after the previous step's completion);
+        local balancing runs after each finer-level regrid.
+        """
+        self.hooks.global_balance(self.time)
+        self._seq = 0
+        self._advance(0, self.time)
+        self.time += self.dt0
+        self.coarse_steps_done += 1
+
+    # ------------------------------------------------------------------ #
+
+    def _advance(self, level: int, time: float) -> None:
+        ratio = self.hierarchy.refinement_ratio
+        self._seq += 1
+        step = SubStep(
+            coarse_step=self.coarse_steps_done,
+            seq=self._seq,
+            level=level,
+            time=time,
+            dt=self.dt(level),
+        )
+        self.trace.append(step)
+        self.hooks.solve(step)
+        if level + 1 < self.hierarchy.max_levels:
+            self.hooks.regrid(level, time + self.dt(level))
+            if self.hierarchy.level_grids(level + 1):
+                self.hooks.local_balance(level + 1, time + self.dt(level))
+                fine_dt = self.dt(level + 1)
+                for i in range(ratio):
+                    self._advance(level + 1, time + i * fine_dt)
+                self.hooks.synchronize(level, time + self.dt(level))

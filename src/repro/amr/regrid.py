@@ -1,0 +1,119 @@
+"""Regridding: rebuild a finer level from flags on the level below it.
+
+After each time step at level ``l`` the SAMR algorithm re-examines where
+resolution is needed and rebuilds level ``l+1`` (Section 2.1: "The number of
+levels, the number of grids, and the locations of the grids change with each
+adaptation").  The pipeline implemented here:
+
+1. ask the application to flag cells over every level-``l`` grid;
+2. buffer the flags so moving features stay covered between regrids;
+3. cluster the flags into efficient boxes (Berger--Rigoutsos);
+4. clip each cluster box against the level-``l`` grids so every resulting
+   child has exactly one parent (proper nesting by construction);
+5. refine the clipped pieces by the refinement ratio and install them as the
+   new level ``l+1`` (the old level ``l+1`` subtree is discarded -- the paper
+   relies on exactly this property in §4.4: after a global move of level-0
+   grids "the finer grids would be reconstructed completely from the grids at
+   level 0").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .box import Box
+from .clustering import ClusterParams, cluster_flags
+from .flagging import FlagField, buffer_flags
+from .grid import Grid
+from .hierarchy import GridHierarchy
+
+__all__ = ["RegridParams", "regrid_level", "assemble_flags"]
+
+
+@dataclass(frozen=True)
+class RegridParams:
+    """Knobs of the regridding pipeline."""
+
+    cluster: ClusterParams = field(default_factory=ClusterParams)
+    buffer_width: int = 1
+    #: discard child pieces smaller than this many cells (in coarse cells);
+    #: tiny slivers produced by clipping are merged into nothing -- physically
+    #: they hold no feature (flags were buffered) and they would flood the
+    #: balancer with negligible work units.
+    min_piece_cells: int = 1
+
+
+def assemble_flags(hierarchy: GridHierarchy, app, level: int, time: float) -> FlagField:
+    """Collect application flags over every grid at ``level`` into one field.
+
+    The field covers the bounding union of the level's grid boxes; cells not
+    covered by any grid stay unflagged (refinement cannot appear where there
+    is no parent -- proper nesting).
+    """
+    grids = hierarchy.level_grids(level)
+    if not grids:
+        return FlagField.empty(Box(hierarchy.domain.lo, hierarchy.domain.lo))
+    bound = grids[0].box
+    for g in grids[1:]:
+        bound = bound.bounding_union(g.box)
+    flags = np.zeros(bound.shape, dtype=bool)
+    for g in grids:
+        sub = np.asarray(app.flags(level, g.box, time), dtype=bool)
+        if sub.shape != g.box.shape:
+            raise ValueError(
+                f"application returned flags of shape {sub.shape} for box {g.box} "
+                f"(expected {g.box.shape})"
+            )
+        flags[g.box.slices(origin=bound.lo)] = sub
+    return FlagField(bound, flags)
+
+
+def regrid_level(
+    hierarchy: GridHierarchy,
+    app,
+    coarse_level: int,
+    time: float,
+    params: Optional[RegridParams] = None,
+) -> List[Grid]:
+    """Rebuild level ``coarse_level + 1`` from flags on ``coarse_level``.
+
+    Returns the newly created grids (empty list if nothing needs refinement
+    or the hierarchy is already at its finest allowed level).
+    """
+    params = params or RegridParams()
+    fine_level = coarse_level + 1
+    if fine_level >= hierarchy.max_levels:
+        return []
+    # Discard the old fine level (and, transitively, everything finer).
+    hierarchy.clear_level(fine_level)
+
+    field_ = assemble_flags(hierarchy, app, coarse_level, time)
+    if not field_.any:
+        return []
+    field_ = buffer_flags(field_, params.buffer_width)
+    # Mask the buffered flags back inside the existing coarse grids.
+    masked = np.zeros_like(field_.flags)
+    for g in hierarchy.level_grids(coarse_level):
+        sl = g.box.slices(origin=field_.box.lo)
+        masked[sl] = field_.flags[sl]
+    field_ = FlagField(field_.box, masked)
+    if not field_.any:
+        return []
+
+    cluster_boxes = cluster_flags(field_, params.cluster)
+    created: List[Grid] = []
+    ratio = hierarchy.refinement_ratio
+    wpc = app.work_per_cell(fine_level)
+    for cbox in cluster_boxes:
+        for parent in hierarchy.level_grids(coarse_level):
+            piece = cbox.intersection(parent.box)
+            if piece.is_empty or piece.ncells < params.min_piece_cells:
+                continue
+            child_box = piece.refine(ratio)
+            created.append(
+                hierarchy.add_grid(fine_level, child_box, parent.gid, work_per_cell=wpc)
+            )
+    return created

@@ -1,0 +1,31 @@
+"""Field-data solver layer: real numerics on the SAMR hierarchy.
+
+Prolongation/restriction, sibling/parent ghost filling, donor-cell
+advection, and a self-adapting driver -- the miniature ENZO the cost
+simulator's "work units" stand for.
+"""
+
+from .advect import (
+    advect_donor_cell,
+    advect_donor_cell_unsplit,
+    cfl_number,
+    cfl_number_unsplit,
+)
+from .driver import AdvectionDriver, GradientCriterion
+from .ops import fill_ghosts, prolong_piecewise_constant, restrict_conservative
+from .reflux import FluxRegister
+from .state import GridData
+
+__all__ = [
+    "advect_donor_cell",
+    "advect_donor_cell_unsplit",
+    "cfl_number",
+    "cfl_number_unsplit",
+    "FluxRegister",
+    "AdvectionDriver",
+    "GradientCriterion",
+    "GridData",
+    "fill_ghosts",
+    "prolong_piecewise_constant",
+    "restrict_conservative",
+]

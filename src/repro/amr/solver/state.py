@@ -1,0 +1,104 @@
+"""Per-grid field storage with ghost zones.
+
+The numerical layer of the SAMR substrate: each grid carries a scalar field
+``u`` over its box plus a ghost shell of ``nghost`` cells, the memory layout
+every structured-AMR code (ENZO included) uses.  Ghost cells mirror data the
+grid does not own -- sibling interiors, interpolated parent data, or domain
+boundary extrapolation -- and are refilled before every solver step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..box import Box
+from ..grid import Grid
+
+__all__ = ["GridData"]
+
+
+class GridData:
+    """The scalar field of one grid, including its ghost shell.
+
+    Parameters
+    ----------
+    grid:
+        The owning grid (geometry source).
+    nghost:
+        Ghost-shell width in cells.
+    fill:
+        Initial interior value (ghosts start at 0 until filled).
+    """
+
+    def __init__(self, grid: Grid, nghost: int = 1, fill: float = 0.0) -> None:
+        if nghost < 1:
+            raise ValueError(f"nghost must be >= 1, got {nghost}")
+        self.grid = grid
+        self.nghost = int(nghost)
+        self.outer = grid.box.grow(self.nghost)
+        self.u = np.full(self.outer.shape, float(fill), dtype=np.float64)
+        #: which cells of the outer array hold valid data (interior always)
+        self.valid = np.zeros(self.outer.shape, dtype=bool)
+        self.valid[self._interior_slices()] = True
+
+    # ------------------------------------------------------------------ #
+
+    def _interior_slices(self) -> Tuple[slice, ...]:
+        return self.grid.box.slices(origin=self.outer.lo)
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the grid-owned cells (no ghosts)."""
+        return self.u[self._interior_slices()]
+
+    @interior.setter
+    def interior(self, values: np.ndarray) -> None:
+        self.u[self._interior_slices()] = values
+
+    def view(self, box: Box) -> np.ndarray:
+        """View of an arbitrary sub-box of the outer (ghosted) region."""
+        if not self.outer.contains(box):
+            raise ValueError(f"{box} is not inside the ghosted region {self.outer}")
+        return self.u[box.slices(origin=self.outer.lo)]
+
+    def mark_valid(self, box: Box) -> None:
+        """Record that the cells of ``box`` now hold meaningful data."""
+        clipped = box.intersection(self.outer)
+        if not clipped.is_empty:
+            self.valid[clipped.slices(origin=self.outer.lo)] = True
+
+    def invalidate_ghosts(self) -> None:
+        """Mark every ghost cell stale (start of a fill pass)."""
+        self.valid[:] = False
+        self.valid[self._interior_slices()] = True
+
+    def ghost_boxes(self) -> Tuple[Box, ...]:
+        """The (up to ``2*ndim`` + corners) boxes forming the ghost shell."""
+        return self.outer.difference(self.grid.box)
+
+    # ------------------------------------------------------------------ #
+
+    def set_from_function(self, fn: Callable[..., np.ndarray], cell_width: float) -> None:
+        """Initialize the interior from ``fn(*coords)`` at cell centres.
+
+        ``fn`` receives one broadcastable coordinate array per dimension (in
+        physical units given ``cell_width``) and must return an array
+        broadcastable to the interior shape.
+        """
+        box = self.grid.box
+        coords = []
+        for d in range(box.ndim):
+            c = (np.arange(box.lo[d], box.hi[d], dtype=np.float64) + 0.5) * cell_width
+            shape = [1] * box.ndim
+            shape[d] = len(c)
+            coords.append(c.reshape(shape))
+        self.interior = np.broadcast_to(fn(*coords), box.shape).copy()
+
+    def total(self) -> float:
+        """Sum of the interior field (conservation diagnostic)."""
+        return float(self.interior.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridData(grid={self.grid.gid}, box={self.grid.box}, nghost={self.nghost})"

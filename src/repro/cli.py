@@ -1,0 +1,191 @@
+"""Command-line interface: run experiments without writing Python.
+
+Subcommands
+-----------
+``run``      one (application, system, scheme) experiment, print its summary
+``compare``  both schemes on one pinned configuration, print the verdict
+``sweep``    the paper's 1+1 .. 8+8 sweep with improvement/efficiency table
+``figure``   regenerate one of the paper's figures (fig1 .. fig8)
+
+Examples
+--------
+    python -m repro run --app shockpool3d --network wan --procs 2 --steps 4
+    python -m repro compare --app amr64 --network lan --procs 4
+    python -m repro sweep --app shockpool3d --configs 1 2 4
+    python -m repro figure fig2
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .harness import (
+    ExperimentConfig,
+    format_percent,
+    format_table,
+    run_experiment,
+    run_paired,
+    run_sweep,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_experiment_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", default="shockpool3d",
+                   choices=["shockpool3d", "amr64", "blastwave"],
+                   help="workload (default: shockpool3d)")
+    p.add_argument("--network", default="wan", choices=["wan", "lan", "parallel"],
+                   help="system shape (default: wan)")
+    p.add_argument("--procs", type=int, default=2, metavar="N",
+                   help="processors per group, the paper's N+N (default: 2)")
+    p.add_argument("--steps", type=int, default=4,
+                   help="coarse (level-0) time steps (default: 4)")
+    p.add_argument("--domain", type=int, default=16,
+                   help="root cells per axis (default: 16)")
+    p.add_argument("--levels", type=int, default=3,
+                   help="maximum refinement levels (default: 3)")
+    p.add_argument("--traffic", default="constant",
+                   choices=["none", "constant", "diurnal", "bursty"],
+                   help="background-traffic model (default: constant)")
+    p.add_argument("--traffic-level", type=float, default=0.3,
+                   help="background occupancy level (default: 0.3)")
+    p.add_argument("--gamma", type=float, default=2.0,
+                   help="gain/cost gate factor (default: 2.0, as in the paper)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the result(s) to PATH as JSON")
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        app_name=args.app,
+        network=args.network,
+        procs_per_group=args.procs,
+        steps=args.steps,
+        domain_cells=args.domain,
+        max_levels=args.levels,
+        traffic_kind=args.traffic,
+        traffic_level=args.traffic_level,
+        gamma=args.gamma,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAMR distributed-DLB reproduction (Lan/Taylor/Bryan, SC'01)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_experiment_args(p_run)
+    p_run.add_argument("--scheme", default="distributed",
+                       choices=["distributed", "parallel", "static"],
+                       help="DLB scheme (default: distributed)")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print the per-coarse-step activity table")
+
+    p_cmp = sub.add_parser("compare", help="run both schemes, report improvement")
+    _add_experiment_args(p_cmp)
+
+    p_sweep = sub.add_parser("sweep", help="paired sweep over configurations")
+    _add_experiment_args(p_sweep)
+    p_sweep.add_argument("--configs", type=int, nargs="+", default=[1, 2, 4, 6, 8],
+                         metavar="N", help="processors per group (default: 1 2 4 6 8)")
+    p_sweep.add_argument("--efficiency", action="store_true",
+                         help="also run the sequential reference for Fig. 8 style output")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name",
+                       choices=[f"fig{i}" for i in range(1, 9)],
+                       help="which figure to regenerate")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_config_from(args), args.scheme)
+    print(result.summary())
+    if args.timeline:
+        from .harness import render_step_timeline
+
+        print()
+        print(render_step_timeline(result.events))
+    if args.json:
+        from .harness import save_run
+
+        save_run(result, args.json)
+        print(f"result written to {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    pair = run_paired(_config_from(args))
+    print(pair.parallel.summary())
+    print()
+    print(pair.distributed.summary())
+    print()
+    print(
+        f"distributed DLB vs parallel DLB: {format_percent(pair.improvement)} "
+        f"improvement ({pair.parallel.total_time:.3f}s -> "
+        f"{pair.distributed.total_time:.3f}s)"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = run_sweep(_config_from(args), tuple(args.configs),
+                      with_sequential=args.efficiency)
+    rows = []
+    for p in sweep.pairs:
+        row: List[object] = [
+            p.config.label,
+            p.parallel.total_time,
+            p.distributed.total_time,
+            format_percent(p.improvement),
+        ]
+        if args.efficiency:
+            row.extend([f"{p.parallel_efficiency:.3f}",
+                        f"{p.distributed_efficiency:.3f}"])
+        rows.append(tuple(row))
+    headers = ["config", "parallel [s]", "distributed [s]", "improvement"]
+    if args.efficiency:
+        headers.extend(["eff (par)", "eff (dist)"])
+    print(format_table(headers, rows, title=f"{args.app} on {args.network}"))
+    print(f"average improvement: {format_percent(sweep.average_improvement)}")
+    if args.json:
+        from .harness import save_sweep
+
+        save_sweep(sweep, args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .harness import figures
+
+    fn = {
+        "fig1": figures.fig1_hierarchy,
+        "fig2": figures.fig2_integration_order,
+        "fig3": figures.fig3_parallel_vs_distributed,
+        "fig4": figures.fig4_flowchart_trace,
+        "fig5": figures.fig5_balance_points,
+        "fig6": figures.fig6_global_redistribution,
+        "fig7": figures.fig7_execution_time,
+        "fig8": figures.fig8_efficiency,
+    }[args.name]
+    print(fn().render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)

@@ -1,0 +1,99 @@
+"""Configuration dataclasses shared by the runtime, schemes and harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimParams", "SchemeParams"]
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Physical constants of the simulated SAMR runtime.
+
+    These map cell counts to bytes and balancing actions to compute
+    overhead.  Absolute values shift the compute/communication ratio; the
+    defaults are chosen so a mid-size run on the WAN system reproduces the
+    paper's regime (communication a large minority of distributed runtime).
+
+    Parameters
+    ----------
+    bytes_per_cell:
+        Solver state shipped per cell for ghost exchange and migration.
+        ENZO carries ~10 double-precision fields per cell -> 80 bytes.
+    ghost_width:
+        Ghost-zone depth for sibling adjacency (cells).
+    parent_child_factor:
+        Fraction of a child grid's surface shell exchanged with its parent
+        per fine step (boundary interpolation + restriction).
+    repartition_fixed_seconds:
+        Fixed computational overhead of one global redistribution: "the time
+        to partition the grids at the top level, rebuild the internal data
+        structures, and update boundary conditions" (Section 4.2).  Together
+        with the per-grid term this is the measured ``delta`` the cost model
+        records for its next prediction.
+    repartition_seconds_per_grid:
+        Per level-0-grid share of that overhead.
+    regrid_seconds_per_grid:
+        Computational overhead charged per grid created by a regrid (data
+        structure construction); identical for both schemes, so it cancels
+        in comparisons but keeps totals honest.
+    """
+
+    bytes_per_cell: float = 80.0
+    ghost_width: int = 1
+    parent_child_factor: float = 1.0
+    repartition_fixed_seconds: float = 0.02
+    repartition_seconds_per_grid: float = 2.0e-4
+    regrid_seconds_per_grid: float = 5.0e-5
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cell <= 0:
+            raise ValueError("bytes_per_cell must be positive")
+        if self.ghost_width < 0:
+            raise ValueError("ghost_width must be >= 0")
+        if self.parent_child_factor < 0:
+            raise ValueError("parent_child_factor must be >= 0")
+        for name in (
+            "repartition_fixed_seconds",
+            "repartition_seconds_per_grid",
+            "regrid_seconds_per_grid",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchemeParams:
+    """Tunables of the DLB schemes.
+
+    Parameters
+    ----------
+    gamma:
+        The gain/cost gate factor: global redistribution runs only when
+        ``Gain > gamma * Cost`` (paper Section 4.4; default 2.0 as in the
+        paper).
+    imbalance_threshold:
+        Minimum ratio of capacity-normalised group loads (max/min) that
+        counts as "imbalance exists" and triggers the gain/cost evaluation.
+    local_tolerance:
+        Local phase stops improving once every processor is within this
+        relative distance of its target load.
+    max_local_moves:
+        Safety cap on grid moves per local balancing action.
+    """
+
+    gamma: float = 2.0
+    imbalance_threshold: float = 1.05
+    local_tolerance: float = 0.05
+    max_local_moves: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError("gamma must be >= 0")
+        if self.imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if not 0.0 < self.local_tolerance < 1.0:
+            raise ValueError("local_tolerance must be in (0, 1)")
+        if self.max_local_moves < 1:
+            raise ValueError("max_local_moves must be >= 1")

@@ -1,0 +1,45 @@
+"""The paper's contribution: distributed DLB, its models, and the baseline."""
+
+from .base import BalanceContext, DLBScheme, Move, execute_moves
+from .cost import CostEstimate, CostModel
+from .decision import Decision, decide
+from .diffusion_dlb import DiffusionDLB
+from .distributed_dlb import DistributedDLB
+from .gain import CoarseStepRecord, WorkloadHistory, estimate_gain
+from .global_phase import (
+    GlobalPlan,
+    effective_level0_loads,
+    execute_global_redistribution,
+    plan_global_redistribution,
+)
+from .local_phase import lpt_assign, plan_rebalance
+from .parallel_dlb import ParallelDLB
+from .static_dlb import StaticDLB
+from .weights import capacity_normalized_loads, measure_weights, relative_weights
+
+__all__ = [
+    "BalanceContext",
+    "DLBScheme",
+    "Move",
+    "execute_moves",
+    "CostEstimate",
+    "CostModel",
+    "Decision",
+    "decide",
+    "DiffusionDLB",
+    "DistributedDLB",
+    "CoarseStepRecord",
+    "WorkloadHistory",
+    "estimate_gain",
+    "GlobalPlan",
+    "execute_global_redistribution",
+    "effective_level0_loads",
+    "plan_global_redistribution",
+    "lpt_assign",
+    "plan_rebalance",
+    "ParallelDLB",
+    "StaticDLB",
+    "capacity_normalized_loads",
+    "measure_weights",
+    "relative_weights",
+]

@@ -1,0 +1,50 @@
+"""Static reference scheme: distribute once, never rebalance.
+
+Not part of the paper's comparison (their baseline is the ICPP'01 parallel
+DLB), but the natural lower bound every DLB paper implies: what happens if
+the initial distribution is never corrected as the application adapts.  New
+grids are simply placed on their parent's processor -- the zero-information,
+zero-communication policy -- so all adaptation-induced imbalance accumulates
+on whichever processors own the refining regions.
+
+Used by the ``value of DLB`` ablation and available to users as a control.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..partition.proportional import processor_targets
+from .base import BalanceContext, DLBScheme
+from .local_phase import lpt_assign
+
+__all__ = ["StaticDLB"]
+
+
+class StaticDLB(DLBScheme):
+    """Initial distribution only; no balancing of any kind afterwards."""
+
+    name = "static (no DLB)"
+
+    def initial_distribution(self, ctx: BalanceContext) -> None:
+        """LPT of the initial hierarchy across all processors, per level."""
+        for level in range(ctx.hierarchy.max_levels):
+            grids = ctx.hierarchy.level_grids(level)
+            if not grids:
+                continue
+            total = sum(g.workload for g in grids)
+            targets = processor_targets(ctx.system, total)
+            for gid, pid in lpt_assign(grids, targets).items():
+                ctx.assignment.assign(gid, pid)
+
+    def place_new_grids(self, ctx: BalanceContext, new_gids: Sequence[int]) -> None:
+        """Children inherit the parent's processor (no movement, no cost)."""
+        for gid in new_gids:
+            parent_gid = ctx.hierarchy.grid(gid).parent_gid
+            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
+
+    def local_balance(self, ctx: BalanceContext, level: int, time: float) -> None:
+        return None
+
+    def global_balance(self, ctx: BalanceContext, time: float) -> None:
+        return None

@@ -1,0 +1,63 @@
+"""Relative processor performance weights (paper Section 4).
+
+"Our DLB scheme addresses the heterogeneity of processors by generating a
+relative performance weight for each processor.  When distributing workload
+among processors, the load is balanced proportional to these weights."
+
+In a real deployment the weights come from a calibration benchmark on each
+machine; in this simulated substrate the processors *are* their weights, so
+measurement reduces to reading them back -- but the normalisation and the
+proportional-share math are real and exercised by the heterogeneous-system
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..distsys.system import DistributedSystem
+
+__all__ = ["relative_weights", "measure_weights", "capacity_normalized_loads"]
+
+
+def relative_weights(speeds: Sequence[float]) -> list:
+    """Normalise raw per-processor speeds to relative weights (mean 1.0).
+
+    Normalising to mean 1 keeps "weight" commensurate with "one processor's
+    worth of work" regardless of the absolute benchmark units.
+    """
+    vals = [float(s) for s in speeds]
+    if not vals:
+        raise ValueError("speeds must be non-empty")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"speeds must be positive, got {vals}")
+    mean = sum(vals) / len(vals)
+    return [v / mean for v in vals]
+
+
+def measure_weights(system: DistributedSystem) -> Dict[int, float]:
+    """Per-processor relative weights of a system (pid -> weight).
+
+    The simulated analogue of running the calibration benchmark everywhere:
+    reads each processor's throughput and normalises to mean 1.0.
+    """
+    procs = system.processors
+    weights = relative_weights([p.speed for p in procs])
+    return {p.pid: w for p, w in zip(procs, weights)}
+
+
+def capacity_normalized_loads(
+    loads: Dict[int, float], weights: Dict[int, float]
+) -> Dict[int, float]:
+    """Load per unit of capacity: the quantity balancing tries to equalise.
+
+    A weight-2 processor with twice the load of a weight-1 processor is in
+    perfect balance; this view makes that explicit.
+    """
+    out = {}
+    for pid, load in loads.items():
+        w = weights.get(pid)
+        if w is None or w <= 0:
+            raise ValueError(f"missing/invalid weight for processor {pid}")
+        out[pid] = load / w
+    return out

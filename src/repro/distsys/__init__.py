@@ -1,0 +1,77 @@
+"""Distributed-system substrate: processors, groups, networks, simulator.
+
+A from-scratch simulation of the paper's testbed shapes -- one parallel
+machine, two machines over a shared LAN, two sites over a shared WAN --
+including dynamic background traffic on the shared links and the two-message
+network probe the cost model uses.
+"""
+
+from .comm import CommPhaseResult, Message, MessageKind, comm_phase_time
+from .events import (
+    CommEvent,
+    ComputeEvent,
+    Event,
+    EventLog,
+    GlobalDecisionEvent,
+    LocalBalanceEvent,
+    ProbeEvent,
+    RedistributionEvent,
+    RegridEvent,
+)
+from .group import Group
+from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect
+from .processor import Processor
+from .simulator import PROBE_LARGE_BYTES, PROBE_SMALL_BYTES, ClusterSimulator
+from .system import (
+    DistributedSystem,
+    build_system,
+    lan_system,
+    multi_site_system,
+    parallel_system,
+    wan_system,
+)
+from .traffic import (
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    NoTraffic,
+    TraceTraffic,
+    TrafficModel,
+)
+
+__all__ = [
+    "CommPhaseResult",
+    "Message",
+    "MessageKind",
+    "comm_phase_time",
+    "CommEvent",
+    "ComputeEvent",
+    "Event",
+    "EventLog",
+    "GlobalDecisionEvent",
+    "LocalBalanceEvent",
+    "ProbeEvent",
+    "RedistributionEvent",
+    "RegridEvent",
+    "Group",
+    "Link",
+    "gigabit_lan",
+    "mren_wan",
+    "origin2000_interconnect",
+    "Processor",
+    "PROBE_LARGE_BYTES",
+    "PROBE_SMALL_BYTES",
+    "ClusterSimulator",
+    "DistributedSystem",
+    "build_system",
+    "lan_system",
+    "parallel_system",
+    "wan_system",
+    "multi_site_system",
+    "BurstyTraffic",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "NoTraffic",
+    "TraceTraffic",
+    "TrafficModel",
+]

@@ -1,0 +1,157 @@
+"""Message taxonomy and per-phase communication cost aggregation.
+
+SAMR generates three kinds of traffic, each with its own volume law:
+
+* ``SIBLING``      -- ghost-zone exchange between adjacent grids on one
+  level ("boundary information exchange between sibling grids which usually
+  is very small", Section 4.1);
+* ``PARENT_CHILD`` -- boundary prolongation / restriction between a grid and
+  its parent every fine step (the traffic the local phase keeps off the WAN
+  by pinning children to the parent's group);
+* ``MIGRATION``    -- bulk grid data moved by a balancing action;
+* ``PROBE``        -- the two small messages of the cost model's network
+  probe (Section 4.2);
+* ``CONTROL``      -- small coordination messages (load reports etc.).
+
+Cost model: within one bulk-synchronous phase, messages between the same
+``(src, dst)`` processor pair are *bundled* into a single transfer (MPI
+codes pack per-neighbour buffers, so the pair pays one latency per phase);
+per link, propagation latency is paid once (in-flight transfers overlap),
+per-bundle software overhead and bytes serialize (one shared medium), and
+distinct links proceed in parallel, so a communication phase lasts as long
+as its busiest link.  Messages a processor sends to itself are free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .network import Link
+from .system import DistributedSystem
+
+__all__ = ["MessageKind", "Message", "CommPhaseResult", "comm_phase_time"]
+
+
+class MessageKind(enum.Enum):
+    """What a message carries (drives reporting, not cost)."""
+
+    SIBLING = "sibling"
+    PARENT_CHILD = "parent_child"
+    MIGRATION = "migration"
+    PROBE = "probe"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    ``nbytes`` may be fractional (aggregate volumes divided among pairs).
+    """
+
+    src: int
+    dst: int
+    nbytes: float
+    kind: MessageKind
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+@dataclass
+class CommPhaseResult:
+    """Outcome of one bulk-synchronous communication phase.
+
+    ``elapsed`` is the wall-clock duration (max over links); the ``*_time``
+    fields attribute each link's busy time to the local/remote class so the
+    Fig. 3 style breakdown can be reported.  Because links run concurrently,
+    ``local_time + remote_time >= elapsed`` in general.
+    """
+
+    elapsed: float = 0.0
+    local_time: float = 0.0
+    remote_time: float = 0.0
+    local_messages: int = 0
+    remote_messages: int = 0
+    local_bytes: float = 0.0
+    remote_bytes: float = 0.0
+    #: bytes by message kind ("sibling", "parent_child", ...), remote link only
+    remote_bytes_by_kind: Dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.remote_bytes_by_kind is None:
+            self.remote_bytes_by_kind = {}
+
+    def merge(self, other: "CommPhaseResult") -> None:
+        """Accumulate another phase into this one (elapsed adds serially)."""
+        self.elapsed += other.elapsed
+        self.local_time += other.local_time
+        self.remote_time += other.remote_time
+        self.local_messages += other.local_messages
+        self.remote_messages += other.remote_messages
+        self.local_bytes += other.local_bytes
+        self.remote_bytes += other.remote_bytes
+        for kind, nbytes in other.remote_bytes_by_kind.items():
+            self.remote_bytes_by_kind[kind] = (
+                self.remote_bytes_by_kind.get(kind, 0.0) + nbytes
+            )
+
+
+def comm_phase_time(
+    system: DistributedSystem,
+    messages: Iterable[Message],
+    time: float,
+) -> CommPhaseResult:
+    """Cost one bulk-synchronous communication phase starting at ``time``.
+
+    Messages between the same ``(src, dst)`` pair are bundled (volumes
+    added -- MPI codes pack per-neighbour buffers); each link then costs
+    ``alpha(t) + nbundles * overhead + total_bytes * beta(t)`` via
+    :meth:`~repro.distsys.network.Link.phase_time`: propagation latency
+    once per phase, software overhead per bundle, bytes serialized on the
+    shared medium.  Link conditions are sampled once at the phase start
+    (phases are short relative to traffic time scales).
+    """
+    # bundle volumes per (src, dst) pair
+    bundles: Dict[Tuple[int, int], float] = {}
+    result = CommPhaseResult()
+    for msg in messages:
+        if msg.src == msg.dst:
+            continue  # self-message: no network cost
+        bundles[(msg.src, msg.dst)] = bundles.get((msg.src, msg.dst), 0.0) + msg.nbytes
+        if system.is_remote(msg.src, msg.dst):
+            result.remote_messages += 1
+            result.remote_bytes += msg.nbytes
+            kind = msg.kind.value
+            result.remote_bytes_by_kind[kind] = (
+                result.remote_bytes_by_kind.get(kind, 0.0) + msg.nbytes
+            )
+        else:
+            result.local_messages += 1
+            result.local_bytes += msg.nbytes
+
+    # serialize bundles per link; links run concurrently
+    per_link: Dict[int, Tuple[Link, bool, float, int]] = {}
+    for (src, dst), nbytes in bundles.items():
+        link = system.link_between(src, dst)
+        remote = system.is_remote(src, dst)
+        key = id(link)
+        prev = per_link.get(key)
+        if prev is None:
+            per_link[key] = (link, remote, nbytes, 1)
+        else:
+            per_link[key] = (link, remote, prev[2] + nbytes, prev[3] + 1)
+
+    elapsed = 0.0
+    for link, remote, nbytes, npairs in per_link.values():
+        busy = link.phase_time(npairs, nbytes, time)
+        if remote:
+            result.remote_time += busy
+        else:
+            result.local_time += busy
+        elapsed = max(elapsed, busy)
+    result.elapsed = elapsed
+    return result

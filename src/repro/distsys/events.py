@@ -1,0 +1,142 @@
+"""Structured event log of a simulated run.
+
+Everything a run does -- solver sub-steps, communication phases, balancing
+decisions, global redistributions, network probes -- is recorded as a typed
+event.  The benchmark harness renders Fig. 4/Fig. 5-style control-flow traces
+straight from this log, and tests assert scheme behaviour against it (e.g.
+"the global phase fired only between level-0 steps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Type, TypeVar
+
+__all__ = [
+    "Event",
+    "ComputeEvent",
+    "CommEvent",
+    "RegridEvent",
+    "LocalBalanceEvent",
+    "GlobalDecisionEvent",
+    "RedistributionEvent",
+    "ProbeEvent",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: simulation wall-clock time at which it completed."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ComputeEvent(Event):
+    """One solver compute phase at one level."""
+
+    level: int
+    seq: int
+    elapsed: float
+    max_load: float
+    total_load: float
+
+
+@dataclass(frozen=True)
+class CommEvent(Event):
+    """One bulk communication phase."""
+
+    level: int
+    purpose: str  # "ghost", "migration", "probe", ...
+    elapsed: float
+    local_time: float
+    remote_time: float
+    local_bytes: float
+    remote_bytes: float
+
+
+@dataclass(frozen=True)
+class RegridEvent(Event):
+    """Level ``fine_level`` was rebuilt from flags on the level below."""
+
+    fine_level: int
+    ngrids: int
+    ncells: int
+
+
+@dataclass(frozen=True)
+class LocalBalanceEvent(Event):
+    """A local balancing action at one level (within groups, or global for
+    the parallel baseline)."""
+
+    level: int
+    moved_grids: int
+    moved_cells: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class GlobalDecisionEvent(Event):
+    """One evaluation of the ``Gain > gamma * Cost`` gate (Fig. 4, left)."""
+
+    gain: float
+    cost: float
+    gamma: float
+    imbalance_detected: bool
+    invoked: bool
+
+
+@dataclass(frozen=True)
+class RedistributionEvent(Event):
+    """A global redistribution actually performed (Fig. 6)."""
+
+    moved_cells: int
+    moved_grids: int
+    elapsed: float
+    predicted_cost: float
+
+
+@dataclass(frozen=True)
+class ProbeEvent(Event):
+    """A two-message network probe (Section 4.2)."""
+
+    group_a: int
+    group_b: int
+    alpha_estimate: float
+    beta_estimate: float
+    elapsed: float
+
+
+E = TypeVar("E", bound=Event)
+
+
+class EventLog:
+    """Append-only list of events with typed filters."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, event: Event) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_type(self, etype: Type[E]) -> List[E]:
+        """All events of exactly the given type, in order."""
+        return [e for e in self._events if type(e) is etype]
+
+    def last(self, etype: Type[E]) -> Optional[E]:
+        """Most recent event of the given type, if any."""
+        for e in reversed(self._events):
+            if type(e) is etype:
+                return e
+        return None
+
+    def between(self, t0: float, t1: float) -> List[Event]:
+        """Events with ``t0 <= time < t1``."""
+        return [e for e in self._events if t0 <= e.time < t1]

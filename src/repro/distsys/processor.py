@@ -1,0 +1,60 @@
+"""Processors: the compute elements of a simulated distributed system.
+
+The paper (Section 4): "To address the heterogeneity of processors, each
+processor is assigned a relative performance weight.  When distributing
+workload among processors, the load is balanced proportional to these
+weights."  A processor here is exactly that: an id, a group membership and a
+relative weight; the time to execute ``L`` work units is
+``L / (base_speed * weight)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Processor"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One compute element.
+
+    Parameters
+    ----------
+    pid:
+        Globally unique processor id (dense, 0-based).
+    group_id:
+        Id of the owning :class:`~repro.distsys.group.Group`.
+    weight:
+        Relative performance weight; a weight-2 processor executes work
+        twice as fast as a weight-1 processor.  The paper's experiments use
+        homogeneous weights (all 1.0); the scheme -- and this package --
+        support arbitrary positive weights.
+    base_speed:
+        Work units per second of a weight-1.0 processor.  The absolute value
+        only scales reported seconds; ratios between schemes are invariant.
+    """
+
+    pid: int
+    group_id: int
+    weight: float = 1.0
+    base_speed: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError(f"pid must be >= 0, got {self.pid}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.base_speed <= 0:
+            raise ValueError(f"base_speed must be positive, got {self.base_speed}")
+
+    @property
+    def speed(self) -> float:
+        """Work units per second this processor executes."""
+        return self.base_speed * self.weight
+
+    def execution_time(self, work: float) -> float:
+        """Seconds to execute ``work`` work units."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        return work / self.speed

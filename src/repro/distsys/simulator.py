@@ -1,0 +1,205 @@
+"""Step-driven cluster simulator: turns work and messages into wall-clock.
+
+The simulator owns the virtual clock.  SAMR steps are bulk-synchronous: a
+compute phase lasts as long as its most loaded processor (MPI codes wait at
+the exchange), then a communication phase lasts as long as its busiest link.
+Every phase advances the clock and is recorded in the :class:`~repro.distsys.
+events.EventLog`; per-purpose accumulators feed the Fig. 3 / Fig. 7 style
+breakdowns.
+
+The probe method implements Section 4.2 verbatim: "the scheme sends two
+messages between groups, and calculates the network performance parameters
+alpha and beta".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .comm import CommPhaseResult, Message, MessageKind, comm_phase_time
+from .events import (
+    CommEvent,
+    ComputeEvent,
+    EventLog,
+    ProbeEvent,
+)
+from .system import DistributedSystem
+
+__all__ = ["ClusterSimulator", "PROBE_SMALL_BYTES", "PROBE_LARGE_BYTES"]
+
+#: probe message sizes (bytes): one tiny message isolates alpha, one sizeable
+#: message exposes the achievable rate
+PROBE_SMALL_BYTES = 64.0
+PROBE_LARGE_BYTES = 65536.0
+
+
+class ClusterSimulator:
+    """Virtual clock + cost accounting over a :class:`DistributedSystem`.
+
+    Attributes
+    ----------
+    clock:
+        Current simulation wall-clock time in seconds.
+    compute_time:
+        Total wall-clock spent in compute phases.
+    comm_time:
+        Total wall-clock spent in communication phases (all purposes).
+    comm_time_by_purpose:
+        Wall-clock per phase purpose ("ghost", "migration", "probe", ...).
+    balance_overhead:
+        Wall-clock spent in balancing actions: migration comm plus
+        repartitioning/rebuild compute charged via :meth:`charge_overhead`.
+    """
+
+    def __init__(self, system: DistributedSystem, log: Optional[EventLog] = None) -> None:
+        self.system = system
+        self.log = log if log is not None else EventLog()
+        self.clock = 0.0
+        self.compute_time = 0.0
+        self.comm_time = 0.0
+        self.local_comm_busy = 0.0
+        self.remote_comm_busy = 0.0
+        self.comm_time_by_purpose: Dict[str, float] = {}
+        self.remote_bytes_by_kind: Dict[str, float] = {}
+        self.balance_overhead = 0.0
+        self.probe_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # compute phases
+    # ------------------------------------------------------------------ #
+
+    def run_compute(self, loads: Mapping[int, float], level: int = 0, seq: int = 0) -> float:
+        """Execute one bulk-synchronous compute phase.
+
+        ``loads`` maps pid -> work units; processors not listed are idle.
+        Returns the phase duration (max over processors of work/speed).
+        """
+        elapsed = 0.0
+        total = 0.0
+        for pid, work in loads.items():
+            total += work
+            elapsed = max(elapsed, self.system.processor(pid).execution_time(work))
+        self.clock += elapsed
+        self.compute_time += elapsed
+        self.log.record(
+            ComputeEvent(
+                time=self.clock,
+                level=level,
+                seq=seq,
+                elapsed=elapsed,
+                max_load=max(loads.values(), default=0.0),
+                total_load=total,
+            )
+        )
+        return elapsed
+
+    # ------------------------------------------------------------------ #
+    # communication phases
+    # ------------------------------------------------------------------ #
+
+    def run_comm(
+        self,
+        messages: Iterable[Message],
+        level: int = 0,
+        purpose: str = "ghost",
+        count_as_balance: bool = False,
+    ) -> CommPhaseResult:
+        """Execute one bulk-synchronous communication phase.
+
+        Link conditions are sampled at the current clock.  ``count_as_balance``
+        attributes the elapsed time to :attr:`balance_overhead` (migration
+        traffic) on top of the regular comm accounting.
+        """
+        result = comm_phase_time(self.system, messages, self.clock)
+        self.clock += result.elapsed
+        self.comm_time += result.elapsed
+        self.local_comm_busy += result.local_time
+        self.remote_comm_busy += result.remote_time
+        self.comm_time_by_purpose[purpose] = (
+            self.comm_time_by_purpose.get(purpose, 0.0) + result.elapsed
+        )
+        for kind, nbytes in result.remote_bytes_by_kind.items():
+            self.remote_bytes_by_kind[kind] = (
+                self.remote_bytes_by_kind.get(kind, 0.0) + nbytes
+            )
+        if count_as_balance:
+            self.balance_overhead += result.elapsed
+        self.log.record(
+            CommEvent(
+                time=self.clock,
+                level=level,
+                purpose=purpose,
+                elapsed=result.elapsed,
+                local_time=result.local_time,
+                remote_time=result.remote_time,
+                local_bytes=result.local_bytes,
+                remote_bytes=result.remote_bytes,
+            )
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # probing (Section 4.2)
+    # ------------------------------------------------------------------ #
+
+    def probe_inter_link(self, group_a: int, group_b: int) -> Tuple[float, float]:
+        """Measure ``(alpha, beta)`` of the link between two groups.
+
+        Sends one small and one large message, solves the two-point linear
+        system of the paper's ``Tcomm = alpha + beta*L`` model, charges the
+        probe's wall-clock, and returns ``(alpha_seconds, beta_s_per_byte)``.
+        The estimate is exact at the instant of the probe; the *network may
+        have changed* by the time a migration runs -- that gap is inherent
+        to the paper's method and is measured by the cost-model ablation.
+        """
+        link = self.system.inter_link(group_a, group_b)
+        t_small = link.transfer_time(PROBE_SMALL_BYTES, self.clock)
+        t_large = link.transfer_time(PROBE_LARGE_BYTES, self.clock)
+        beta = (t_large - t_small) / (PROBE_LARGE_BYTES - PROBE_SMALL_BYTES)
+        alpha = t_small - beta * PROBE_SMALL_BYTES
+        elapsed = t_small + t_large
+        self.clock += elapsed
+        self.comm_time += elapsed
+        self.probe_time += elapsed
+        self.comm_time_by_purpose["probe"] = (
+            self.comm_time_by_purpose.get("probe", 0.0) + elapsed
+        )
+        self.log.record(
+            ProbeEvent(
+                time=self.clock,
+                group_a=group_a,
+                group_b=group_b,
+                alpha_estimate=alpha,
+                beta_estimate=beta,
+                elapsed=elapsed,
+            )
+        )
+        return alpha, beta
+
+    # ------------------------------------------------------------------ #
+    # overheads
+    # ------------------------------------------------------------------ #
+
+    def charge_overhead(self, seconds: float, as_balance: bool = True) -> None:
+        """Advance the clock by a computational overhead (repartitioning,
+        data-structure rebuild, boundary update -- the paper's ``delta``)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.clock += seconds
+        if as_balance:
+            self.balance_overhead += seconds
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, float]:
+        """Accounting snapshot for reports/tests."""
+        return {
+            "clock": self.clock,
+            "compute_time": self.compute_time,
+            "comm_time": self.comm_time,
+            "local_comm_busy": self.local_comm_busy,
+            "remote_comm_busy": self.remote_comm_busy,
+            "balance_overhead": self.balance_overhead,
+            "probe_time": self.probe_time,
+        }

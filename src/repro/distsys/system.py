@@ -1,0 +1,277 @@
+"""Distributed systems: two or more groups joined by inter-group links.
+
+Factory helpers build the paper's three testbed shapes:
+
+* a *parallel system* -- one group, dedicated interconnect (Section 3's
+  baseline Origin2000 at ANL);
+* the *LAN system* -- two machines at ANL over shared Gigabit Ethernet
+  (AMR64 experiments);
+* the *WAN system* -- ANL + NCSA over the shared MREN ATM OC-3 network
+  (ShockPool3D experiments and the Section 3 motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .group import Group
+from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect
+from .processor import Processor
+from .traffic import TrafficModel
+
+__all__ = [
+    "DistributedSystem",
+    "build_system",
+    "parallel_system",
+    "lan_system",
+    "wan_system",
+    "multi_site_system",
+]
+
+
+class DistributedSystem:
+    """Groups of processors plus the links between them.
+
+    Parameters
+    ----------
+    groups:
+        The member groups; ``group_id`` must equal the list index.
+    inter_links:
+        Mapping from an unordered group-id pair to the connecting link.
+        Every distinct pair of groups must be connected.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Group],
+        inter_links: Optional[Dict[FrozenSet[int], Link]] = None,
+    ) -> None:
+        if not groups:
+            raise ValueError("a system needs at least one group")
+        for i, g in enumerate(groups):
+            if g.group_id != i:
+                raise ValueError(f"group {g.name!r} has id {g.group_id}, expected {i}")
+        self.groups: List[Group] = list(groups)
+        self.inter_links: Dict[FrozenSet[int], Link] = dict(inter_links or {})
+        # validate connectivity and pid density
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                if frozenset((i, j)) not in self.inter_links:
+                    raise ValueError(f"groups {i} and {j} are not connected")
+        pids = [p.pid for g in self.groups for p in g.processors]
+        if sorted(pids) != list(range(len(pids))):
+            raise ValueError(f"processor ids must be dense 0..n-1, got {sorted(pids)}")
+        self._procs: Dict[int, Processor] = {
+            p.pid: p for g in self.groups for p in g.processors
+        }
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nprocs(self) -> int:
+        return len(self._procs)
+
+    @property
+    def ngroups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def processors(self) -> List[Processor]:
+        """All processors ordered by pid."""
+        return [self._procs[pid] for pid in range(self.nprocs)]
+
+    def processor(self, pid: int) -> Processor:
+        return self._procs[pid]
+
+    def group_of(self, pid: int) -> Group:
+        return self.groups[self._procs[pid].group_id]
+
+    def is_remote(self, pid_a: int, pid_b: int) -> bool:
+        """True when the two processors live in different groups."""
+        return self._procs[pid_a].group_id != self._procs[pid_b].group_id
+
+    def link_between(self, pid_a: int, pid_b: int) -> Optional[Link]:
+        """The link a message between the two processors crosses.
+
+        ``None`` for a processor talking to itself (no network involved).
+        """
+        if pid_a == pid_b:
+            return None
+        ga, gb = self._procs[pid_a].group_id, self._procs[pid_b].group_id
+        if ga == gb:
+            return self.groups[ga].intra_link
+        return self.inter_links[frozenset((ga, gb))]
+
+    def inter_link(self, group_a: int, group_b: int) -> Link:
+        """The link between two (distinct) groups."""
+        if group_a == group_b:
+            raise ValueError("inter_link needs two distinct groups")
+        return self.inter_links[frozenset((group_a, group_b))]
+
+    # ------------------------------------------------------------------ #
+    # capacity math (paper Section 4.4)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_capacity(self) -> float:
+        """``sum over groups of n_g * p_g``."""
+        return sum(g.capacity for g in self.groups)
+
+    def capacity_fraction(self, group_id: int) -> float:
+        """The share ``n_g*p_g / sum(n*p)`` of group ``group_id``.
+
+        This is the workload fraction the paper's global phase assigns to
+        the group.
+        """
+        return self.groups[group_id].capacity / self.total_capacity
+
+    def describe(self) -> str:
+        """Multi-line human-readable description for reports."""
+        lines = [f"DistributedSystem: {self.ngroups} group(s), {self.nprocs} processors"]
+        for g in self.groups:
+            lines.append(
+                f"  {g.name}: {g.nprocs} procs, weight {g.processor_weight}, "
+                f"intra {g.intra_link.name}"
+            )
+        for pair, link in sorted(self.inter_links.items(), key=lambda kv: sorted(kv[0])):
+            a, b = sorted(pair)
+            lines.append(
+                f"  {self.groups[a].name} <-> {self.groups[b].name}: {link.name} "
+                f"(alpha={link.latency:.2e}s, bw={link.bandwidth / 1e6:.1f} MB/s)"
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# factories
+# --------------------------------------------------------------------- #
+
+
+def build_system(
+    group_sizes: Sequence[int],
+    inter_link: Optional[Link] = None,
+    group_weights: Optional[Sequence[float]] = None,
+    group_names: Optional[Sequence[str]] = None,
+    intra_links: Optional[Sequence[Link]] = None,
+    base_speed: float = 1.0e6,
+    group_base_speeds: Optional[Sequence[float]] = None,
+) -> DistributedSystem:
+    """Build a system of ``len(group_sizes)`` groups with dense pids.
+
+    All group pairs share the single ``inter_link`` instance (the paper's
+    testbeds have exactly two groups, so one inter-group link suffices; pass
+    a prebuilt ``inter_links`` mapping through :class:`DistributedSystem`
+    directly for richer topologies).
+
+    ``group_weights`` and ``group_base_speeds`` are two ways of expressing
+    processor heterogeneity: weights are *visible* to the DLB schemes (the
+    paper's relative performance weights), while base speeds are not --
+    ablations use base speeds to model a federation whose scheme is blind
+    to the hardware difference.
+    """
+    n = len(group_sizes)
+    weights = list(group_weights) if group_weights is not None else [1.0] * n
+    speeds = (
+        list(group_base_speeds)
+        if group_base_speeds is not None
+        else [base_speed] * n
+    )
+    if len(speeds) != n:
+        raise ValueError("group_base_speeds must align with group_sizes")
+    names = list(group_names) if group_names is not None else [f"group{i}" for i in range(n)]
+    intras = list(intra_links) if intra_links is not None else [
+        origin2000_interconnect(f"intra-{names[i]}") for i in range(n)
+    ]
+    if not (len(weights) == len(names) == len(intras) == n):
+        raise ValueError("group_sizes, weights, names and intra_links must align")
+    groups: List[Group] = []
+    pid = 0
+    for gi, size in enumerate(group_sizes):
+        procs = [
+            Processor(pid + k, gi, weight=weights[gi], base_speed=speeds[gi])
+            for k in range(size)
+        ]
+        pid += size
+        groups.append(Group(gi, names[gi], procs, intra_link=intras[gi]))
+    links: Dict[FrozenSet[int], Link] = {}
+    if n > 1:
+        if inter_link is None:
+            raise ValueError("multi-group systems need an inter_link")
+        for i in range(n):
+            for j in range(i + 1, n):
+                links[frozenset((i, j))] = inter_link
+    return DistributedSystem(groups, links)
+
+
+def parallel_system(nprocs: int, base_speed: float = 1.0e6) -> DistributedSystem:
+    """One dedicated parallel machine (the Section 3 baseline)."""
+    return build_system([nprocs], group_names=["ANL"], base_speed=base_speed)
+
+
+def lan_system(
+    nprocs_per_group: int,
+    traffic: Optional[TrafficModel] = None,
+    base_speed: float = 1.0e6,
+) -> DistributedSystem:
+    """Two machines at one site over shared Gigabit Ethernet (AMR64)."""
+    return build_system(
+        [nprocs_per_group, nprocs_per_group],
+        inter_link=gigabit_lan(traffic),
+        group_names=["ANL-1", "ANL-2"],
+        base_speed=base_speed,
+    )
+
+
+def wan_system(
+    nprocs_per_group: int,
+    traffic: Optional[TrafficModel] = None,
+    base_speed: float = 1.0e6,
+) -> DistributedSystem:
+    """ANL + NCSA over the shared MREN ATM OC-3 WAN (ShockPool3D)."""
+    return build_system(
+        [nprocs_per_group, nprocs_per_group],
+        inter_link=mren_wan(traffic),
+        group_names=["ANL", "NCSA"],
+        base_speed=base_speed,
+    )
+
+
+def multi_site_system(
+    group_sizes: Sequence[int],
+    traffic: Optional[TrafficModel] = None,
+    base_speed: float = 1.0e6,
+    group_weights: Optional[Sequence[float]] = None,
+) -> DistributedSystem:
+    """A grid of ``len(group_sizes)`` sites, each pair joined by its own WAN.
+
+    The paper's experiments use two sites, but nothing in the scheme is
+    binary: the gain model (Eq. 4) and the capacity-proportional global
+    phase (Section 4.4) are defined over any number of groups.  Each site
+    pair gets an *independent* :func:`mren_wan` link instance sharing one
+    traffic model, so congestion is correlated (one backbone) while
+    per-pair transfers still serialize separately.
+    """
+    n = len(group_sizes)
+    if n < 2:
+        raise ValueError("multi_site_system needs at least two sites")
+    names = [f"site{i}" for i in range(n)]
+    weights = list(group_weights) if group_weights is not None else [1.0] * n
+    groups: List[Group] = []
+    pid = 0
+    for gi, size in enumerate(group_sizes):
+        procs = [
+            Processor(pid + k, gi, weight=weights[gi], base_speed=base_speed)
+            for k in range(size)
+        ]
+        pid += size
+        groups.append(
+            Group(gi, names[gi], procs, intra_link=origin2000_interconnect(f"intra-{names[gi]}"))
+        )
+    links: Dict[FrozenSet[int], Link] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            links[frozenset((i, j))] = mren_wan(traffic, name=f"wan-{i}-{j}")
+    return DistributedSystem(groups, links)

@@ -1,0 +1,160 @@
+"""Background-traffic models for shared network links.
+
+The paper's networks (Gigabit-Ethernet LAN at ANL, MREN ATM OC-3 WAN between
+ANL and NCSA) are *shared*: other users' traffic changes the latency and
+bandwidth an application observes over time, which is precisely the
+"dynamic load of the networks" the DLB scheme adapts to.
+
+A traffic model maps simulation time to an *occupancy* in ``[0, 1)``: the
+fraction of the link's nominal capacity consumed by background traffic at
+that instant.  All models are deterministic functions of time (randomness is
+fixed at construction from a seed), so paired experiment runs -- parallel DLB
+then distributed DLB, as in the paper's back-to-back methodology -- observe
+the identical network weather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrafficModel",
+    "NoTraffic",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "BurstyTraffic",
+    "TraceTraffic",
+]
+
+#: occupancy is clamped below this so effective bandwidth never reaches zero
+MAX_OCCUPANCY = 0.95
+
+
+class TrafficModel:
+    """Base class: occupancy as a deterministic function of time."""
+
+    def occupancy(self, time: float) -> float:
+        """Fraction of link capacity consumed by background traffic."""
+        raise NotImplementedError
+
+    def _clamp(self, x: float) -> float:
+        return min(MAX_OCCUPANCY, max(0.0, x))
+
+
+@dataclass(frozen=True)
+class NoTraffic(TrafficModel):
+    """A dedicated link (the parallel-machine interconnect case)."""
+
+    def occupancy(self, time: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantTraffic(TrafficModel):
+    """Steady background load, e.g. a persistent bulk transfer."""
+
+    level: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= MAX_OCCUPANCY:
+            raise ValueError(f"level must be in [0, {MAX_OCCUPANCY}], got {self.level}")
+
+    def occupancy(self, time: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class DiurnalTraffic(TrafficModel):
+    """Smooth sinusoidal load: the day/night cycle of a shared WAN.
+
+    ``occupancy(t) = mean + amplitude * sin(2*pi*(t/period) + phase)``.
+    """
+
+    mean: float = 0.35
+    amplitude: float = 0.25
+    period: float = 600.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {self.amplitude}")
+
+    def occupancy(self, time: float) -> float:
+        raw = self.mean + self.amplitude * math.sin(2.0 * math.pi * time / self.period + self.phase)
+        return self._clamp(raw)
+
+
+@dataclass(frozen=True)
+class BurstyTraffic(TrafficModel):
+    """Piecewise-constant random bursts (competing jobs come and go).
+
+    Time is divided into buckets of ``bucket_seconds``; each bucket
+    independently carries a burst with probability ``burst_probability``.
+    The per-bucket draw is a hash of ``(seed, bucket_index)``, so occupancy
+    is a pure function of time -- no hidden RNG state, resumable anywhere.
+    """
+
+    seed: int = 0
+    base: float = 0.1
+    burst: float = 0.7
+    burst_probability: float = 0.3
+    bucket_seconds: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be positive, got {self.bucket_seconds}")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError(f"burst_probability must be in [0,1], got {self.burst_probability}")
+        for name in ("base", "burst"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= MAX_OCCUPANCY:
+                raise ValueError(f"{name} must be in [0, {MAX_OCCUPANCY}], got {v}")
+
+    def occupancy(self, time: float) -> float:
+        bucket = int(time // self.bucket_seconds)
+        # One-shot Philox draw keyed by (seed, bucket): deterministic and
+        # statistically independent across buckets.
+        u = np.random.Generator(np.random.Philox(key=self.seed, counter=bucket)).random()
+        return self.burst if u < self.burst_probability else self.base
+
+
+class TraceTraffic(TrafficModel):
+    """Step-function occupancy from a recorded trace.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times; ``times[0]`` must be ``<= 0`` so
+        the trace covers the start of the run.
+    occupancies:
+        Occupancy holding from ``times[i]`` until ``times[i+1]`` (the last
+        value holds forever).
+    """
+
+    def __init__(self, times: Sequence[float], occupancies: Sequence[float]) -> None:
+        self.times = np.asarray(times, dtype=np.float64)
+        self.occupancies = np.asarray(occupancies, dtype=np.float64)
+        if self.times.ndim != 1 or self.times.shape != self.occupancies.shape:
+            raise ValueError("times and occupancies must be 1-d and equal length")
+        if len(self.times) == 0:
+            raise ValueError("trace must have at least one sample")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if self.times[0] > 0:
+            raise ValueError("trace must start at or before t=0")
+        if np.any((self.occupancies < 0) | (self.occupancies > MAX_OCCUPANCY)):
+            raise ValueError(f"occupancies must be in [0, {MAX_OCCUPANCY}]")
+
+    def occupancy(self, time: float) -> float:
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        idx = max(0, idx)
+        return float(self.occupancies[idx])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceTraffic({len(self.times)} samples)"

@@ -1,0 +1,19 @@
+"""NWS-style network forecasting (the paper's future-work extension)."""
+
+from .nws import (
+    AdaptiveForecaster,
+    ExponentialSmoothingForecaster,
+    Forecaster,
+    LastValueForecaster,
+    SlidingMeanForecaster,
+    SlidingMedianForecaster,
+)
+
+__all__ = [
+    "AdaptiveForecaster",
+    "ExponentialSmoothingForecaster",
+    "Forecaster",
+    "LastValueForecaster",
+    "SlidingMeanForecaster",
+    "SlidingMedianForecaster",
+]

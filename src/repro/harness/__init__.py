@@ -1,0 +1,66 @@
+"""Experiment harness: configs, paired sweeps, reports, per-figure benches."""
+
+from .experiment import (
+    ExperimentConfig,
+    make_app,
+    make_scheme,
+    make_system,
+    make_traffic,
+    run_experiment,
+    run_sequential,
+)
+from .figures import (
+    fig1_hierarchy,
+    fig2_integration_order,
+    fig3_parallel_vs_distributed,
+    fig4_flowchart_trace,
+    fig5_balance_points,
+    fig6_global_redistribution,
+    fig7_execution_time,
+    fig8_efficiency,
+)
+from .export import fig3_to_csv, fig7_to_csv, fig8_to_csv, sweep_to_csv
+from .persist import load_run, load_sweep, save_run, save_sweep
+from .replication import ReplicatedResult, replicate
+from .report import comparison_block, format_percent, format_table
+from .timeline import render_event_listing, render_step_timeline, step_timeline
+from .sweep import PAPER_CONFIGS, PairedResult, SweepResult, run_paired, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "make_app",
+    "make_scheme",
+    "make_system",
+    "make_traffic",
+    "run_experiment",
+    "run_sequential",
+    "fig1_hierarchy",
+    "fig2_integration_order",
+    "fig3_parallel_vs_distributed",
+    "fig4_flowchart_trace",
+    "fig5_balance_points",
+    "fig6_global_redistribution",
+    "fig7_execution_time",
+    "fig8_efficiency",
+    "fig3_to_csv",
+    "fig7_to_csv",
+    "fig8_to_csv",
+    "sweep_to_csv",
+    "ReplicatedResult",
+    "replicate",
+    "load_run",
+    "load_sweep",
+    "save_run",
+    "save_sweep",
+    "render_event_listing",
+    "render_step_timeline",
+    "step_timeline",
+    "comparison_block",
+    "format_percent",
+    "format_table",
+    "PAPER_CONFIGS",
+    "PairedResult",
+    "SweepResult",
+    "run_paired",
+    "run_sweep",
+]

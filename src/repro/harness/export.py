@@ -1,0 +1,75 @@
+"""CSV export of figure data: plot the reproduction with your own tools.
+
+Every measured figure can be written as a plain CSV (stdlib ``csv``, no
+plotting dependency), so the series the paper plots as bar charts can be
+regenerated in any environment.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .figures import Fig3Result, Fig7Result, Fig8Result
+from .sweep import SweepResult
+
+__all__ = ["fig3_to_csv", "fig7_to_csv", "fig8_to_csv", "sweep_to_csv"]
+
+PathLike = Union[str, Path]
+
+
+def fig3_to_csv(result: Fig3Result, path: PathLike) -> None:
+    """Fig. 3 series: compute/comm on the parallel vs distributed system."""
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow([
+            "config", "parallel_compute_s", "parallel_comm_s",
+            "distributed_compute_s", "distributed_comm_s",
+        ])
+        for r in result.rows:
+            w.writerow([
+                r.label, r.parallel_compute, r.parallel_comm,
+                r.distributed_compute, r.distributed_comm,
+            ])
+
+
+def sweep_to_csv(sweep: SweepResult, path: PathLike) -> None:
+    """Raw paired-sweep data: one row per configuration."""
+    with_seq = all(p.sequential is not None for p in sweep.pairs)
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        header = [
+            "config", "nprocs", "parallel_total_s", "distributed_total_s",
+            "improvement",
+        ]
+        if with_seq:
+            header += ["sequential_total_s", "parallel_efficiency",
+                       "distributed_efficiency"]
+        w.writerow(header)
+        for p in sweep.pairs:
+            row = [
+                p.config.label, p.nprocs, p.parallel.total_time,
+                p.distributed.total_time, p.improvement,
+            ]
+            if with_seq:
+                row += [p.sequential.total_time, p.parallel_efficiency,
+                        p.distributed_efficiency]
+            w.writerow(row)
+
+
+def fig7_to_csv(result: Fig7Result, path: PathLike) -> None:
+    """Fig. 7 series: execution times and improvements."""
+    sweep_to_csv(result.sweep, path)
+
+
+def fig8_to_csv(result: Fig8Result, path: PathLike) -> None:
+    """Fig. 8 series: efficiencies per configuration."""
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow([
+            "config", "parallel_efficiency", "distributed_efficiency",
+            "efficiency_improvement",
+        ])
+        for label, e_par, e_dist, gain in result.efficiency_rows():
+            w.writerow([label, e_par, e_dist, gain])

@@ -1,0 +1,149 @@
+"""Persistence: save and reload experiment results as JSON.
+
+Sweeps take minutes; analysis and plotting should not have to re-run them.
+``RunResult`` and the sweep containers serialize to plain JSON (the event
+log, which can hold tens of thousands of records, is summarised to per-type
+counts rather than dumped).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..distsys.events import EventLog
+from ..metrics.timing import RunResult
+from .sweep import PairedResult, SweepResult
+
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "save_sweep",
+    "load_sweep",
+    "save_run",
+    "load_run",
+]
+
+_FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> Dict:
+    """JSON-safe dict of a run result (events summarised, not dumped)."""
+    out = {
+        "scheme": result.scheme,
+        "app": result.app,
+        "system": result.system,
+        "nsteps": result.nsteps,
+        "total_time": result.total_time,
+        "compute_time": result.compute_time,
+        "comm_time": result.comm_time,
+        "balance_overhead": result.balance_overhead,
+        "probe_time": result.probe_time,
+        "local_comm_busy": result.local_comm_busy,
+        "remote_comm_busy": result.remote_comm_busy,
+        "comm_by_purpose": dict(result.comm_by_purpose),
+        "remote_bytes_by_kind": dict(result.remote_bytes_by_kind),
+        "final_grids": result.final_grids,
+        "final_cells": result.final_cells,
+        "redistributions": result.redistributions,
+        "decisions": result.decisions,
+    }
+    if result.events is not None:
+        counts: Dict[str, int] = {}
+        for e in result.events:
+            name = type(e).__name__
+            counts[name] = counts.get(name, 0) + 1
+        out["event_counts"] = counts
+    return out
+
+
+def run_result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` (without its event log)."""
+    fields = {
+        k: data[k]
+        for k in (
+            "scheme", "app", "system", "nsteps", "total_time", "compute_time",
+            "comm_time", "balance_overhead", "probe_time", "local_comm_busy",
+            "remote_comm_busy", "comm_by_purpose", "remote_bytes_by_kind",
+            "final_grids", "final_cells", "redistributions", "decisions",
+        )
+    }
+    return RunResult(events=None, **fields)
+
+
+def save_run(result: RunResult, path: Union[str, Path]) -> None:
+    """Write one run result to ``path`` as JSON."""
+    payload = {"format": _FORMAT_VERSION, "kind": "run", "run": run_result_to_dict(result)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_run(path: Union[str, Path]) -> RunResult:
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "run")
+    return run_result_from_dict(payload["run"])
+
+
+def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> None:
+    """Write a sweep (configs + all three runs per pair) to JSON."""
+    pairs = []
+    for p in sweep.pairs:
+        pairs.append(
+            {
+                "config": {
+                    "app_name": p.config.app_name,
+                    "network": p.config.network,
+                    "procs_per_group": p.config.procs_per_group,
+                    "steps": p.config.steps,
+                    "domain_cells": p.config.domain_cells,
+                    "max_levels": p.config.max_levels,
+                    "traffic_kind": p.config.traffic_kind,
+                    "traffic_level": p.config.traffic_level,
+                    "gamma": p.config.gamma,
+                },
+                "parallel": run_result_to_dict(p.parallel),
+                "distributed": run_result_to_dict(p.distributed),
+                "sequential": (
+                    run_result_to_dict(p.sequential)
+                    if p.sequential is not None
+                    else None
+                ),
+            }
+        )
+    payload = {"format": _FORMAT_VERSION, "kind": "sweep", "pairs": pairs}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Reload a sweep; improvements/efficiencies recompute transparently."""
+    from .experiment import ExperimentConfig
+
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "sweep")
+    pairs: List[PairedResult] = []
+    for p in payload["pairs"]:
+        cfg = ExperimentConfig(**p["config"])
+        pairs.append(
+            PairedResult(
+                config=cfg,
+                parallel=run_result_from_dict(p["parallel"]),
+                distributed=run_result_from_dict(p["distributed"]),
+                sequential=(
+                    run_result_from_dict(p["sequential"])
+                    if p["sequential"] is not None
+                    else None
+                ),
+            )
+        )
+    return SweepResult(pairs=pairs)
+
+
+def _check(payload: Dict, kind: str) -> None:
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported file format {payload.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    if payload.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} file, got {payload.get('kind')!r}")

@@ -1,0 +1,86 @@
+"""ASCII reporting: the tables and series the benchmarks print.
+
+The paper's evaluation figures are bar charts; this module renders the same
+data as aligned text tables, plus "paper vs measured" comparison blocks for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_percent", "comparison_block"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned and formatted compactly; everything else is
+    left-aligned.  The result is stable across runs for identical data, so
+    tests can assert against it.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(f"row {r} has {len(r)} cells, expected {cols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(cols)
+    ]
+    numeric = [
+        bool(str_rows) and all(_is_number(r[c]) for r in str_rows) for c in range(cols)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        out = []
+        for c, cell in enumerate(cells):
+            out.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _is_number(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def format_percent(x: float, digits: int = 1) -> str:
+    """``0.297 -> '29.7%'``."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def comparison_block(
+    name: str,
+    paper_claim: str,
+    measured: str,
+    verdict: str,
+) -> str:
+    """A 'paper vs measured' block for EXPERIMENTS.md and bench output."""
+    return "\n".join(
+        [
+            f"== {name} ==",
+            f"  paper:    {paper_claim}",
+            f"  measured: {measured}",
+            f"  verdict:  {verdict}",
+        ]
+    )

@@ -1,0 +1,102 @@
+"""Configuration sweeps: the paper's 1+1 ... 8+8 series, run paired.
+
+"Five configurations (1+1, 2+2, 4+4, 6+6, and 8+8) are tested."  Each
+configuration runs both schemes against the same pinned workload and the
+same traffic realisation, so the difference is attributable to the scheme
+alone (Section 5's back-to-back methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.efficiency import efficiency
+from ..metrics.timing import RunResult
+from .experiment import ExperimentConfig, run_experiment, run_sequential
+
+__all__ = ["PairedResult", "SweepResult", "run_paired", "run_sweep",
+           "PAPER_CONFIGS"]
+
+#: the paper's processor configurations (procs per group)
+PAPER_CONFIGS = (1, 2, 4, 6, 8)
+
+
+@dataclass
+class PairedResult:
+    """Both schemes on one configuration (plus the sequential reference)."""
+
+    config: ExperimentConfig
+    parallel: RunResult
+    distributed: RunResult
+    sequential: Optional[RunResult] = None
+
+    @property
+    def improvement(self) -> float:
+        """Relative execution-time improvement of distributed over parallel."""
+        return self.distributed.improvement_over(self.parallel)
+
+    @property
+    def nprocs(self) -> int:
+        return 2 * self.config.procs_per_group
+
+    def efficiency_of(self, result: RunResult) -> float:
+        """Fig. 8's ``E(1)/(E*P)`` for one of the runs."""
+        if self.sequential is None:
+            raise ValueError("sweep was run without sequential reference")
+        return efficiency(self.sequential.total_time, result.total_time, self.nprocs)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.efficiency_of(self.parallel)
+
+    @property
+    def distributed_efficiency(self) -> float:
+        return self.efficiency_of(self.distributed)
+
+
+@dataclass
+class SweepResult:
+    """A full configuration sweep."""
+
+    pairs: List[PairedResult]
+
+    @property
+    def improvements(self) -> List[float]:
+        return [p.improvement for p in self.pairs]
+
+    @property
+    def average_improvement(self) -> float:
+        vals = self.improvements
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def by_label(self) -> Dict[str, PairedResult]:
+        return {p.config.label: p for p in self.pairs}
+
+
+def run_paired(cfg: ExperimentConfig, with_sequential: bool = False) -> PairedResult:
+    """Run parallel DLB then distributed DLB on one pinned configuration."""
+    par = run_experiment(cfg, "parallel")
+    dist = run_experiment(cfg, "distributed")
+    seq = run_sequential(cfg) if with_sequential else None
+    return PairedResult(config=cfg, parallel=par, distributed=dist, sequential=seq)
+
+
+def run_sweep(
+    base: ExperimentConfig,
+    procs_per_group: Sequence[int] = PAPER_CONFIGS,
+    with_sequential: bool = False,
+) -> SweepResult:
+    """Run the paired experiment over a series of configurations.
+
+    The sequential reference (needed for Fig. 8) is workload-identical
+    across configurations, so it is run once and shared.
+    """
+    seq = run_sequential(base) if with_sequential else None
+    pairs = []
+    for n in procs_per_group:
+        cfg = replace(base, procs_per_group=n)
+        pair = run_paired(cfg, with_sequential=False)
+        pair.sequential = seq
+        pairs.append(pair)
+    return SweepResult(pairs=pairs)

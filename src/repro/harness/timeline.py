@@ -1,0 +1,119 @@
+"""Timeline rendering: what the run did, when, as text.
+
+Turns an :class:`~repro.distsys.events.EventLog` into a compact per-coarse-
+step activity table -- time spent per phase kind between consecutive
+level-0 boundaries -- and a full chronological listing for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..distsys.events import (
+    CommEvent,
+    ComputeEvent,
+    EventLog,
+    GlobalDecisionEvent,
+    LocalBalanceEvent,
+    ProbeEvent,
+    RedistributionEvent,
+    RegridEvent,
+)
+from .report import format_table
+
+__all__ = ["step_timeline", "render_step_timeline", "render_event_listing"]
+
+
+def step_timeline(log: EventLog) -> List[Dict[str, float]]:
+    """Per-coarse-step activity summary.
+
+    Coarse steps are delimited by :class:`GlobalDecisionEvent`s (exactly one
+    is logged at each level-0 boundary).  Returns one dict per step with the
+    accumulated ``compute``, ``ghost_comm``, ``balance_comm``, ``probe``
+    durations plus counters.
+    """
+    boundaries = [i for i, e in enumerate(log) if isinstance(e, GlobalDecisionEvent)]
+    events = list(log)
+    if not boundaries:
+        boundaries = [0]
+    steps: List[Dict[str, float]] = []
+    for si, start in enumerate(boundaries):
+        stop = boundaries[si + 1] if si + 1 < len(boundaries) else len(events)
+        acc = {
+            "step": float(si),
+            "compute": 0.0,
+            "ghost_comm": 0.0,
+            "balance_comm": 0.0,
+            "probe": 0.0,
+            "regrids": 0.0,
+            "local_balances": 0.0,
+            "redistributed_grids": 0.0,
+        }
+        for e in events[start:stop]:
+            if isinstance(e, ComputeEvent):
+                acc["compute"] += e.elapsed
+            elif isinstance(e, CommEvent):
+                if e.purpose == "ghost":
+                    acc["ghost_comm"] += e.elapsed
+                else:
+                    acc["balance_comm"] += e.elapsed
+            elif isinstance(e, ProbeEvent):
+                acc["probe"] += e.elapsed
+            elif isinstance(e, RegridEvent):
+                acc["regrids"] += 1
+            elif isinstance(e, LocalBalanceEvent):
+                acc["local_balances"] += 1
+            elif isinstance(e, RedistributionEvent):
+                acc["redistributed_grids"] += e.moved_grids
+        steps.append(acc)
+    return steps
+
+
+def render_step_timeline(log: EventLog) -> str:
+    """ASCII table of :func:`step_timeline`."""
+    rows = [
+        (
+            int(s["step"]),
+            s["compute"],
+            s["ghost_comm"],
+            s["balance_comm"],
+            s["probe"],
+            int(s["regrids"]),
+            int(s["local_balances"]),
+            int(s["redistributed_grids"]),
+        )
+        for s in step_timeline(log)
+    ]
+    return format_table(
+        ["step", "compute [s]", "ghost [s]", "balance [s]", "probe [s]",
+         "regrids", "local bal", "grids moved"],
+        rows,
+        title="Per-coarse-step activity",
+    )
+
+
+def render_event_listing(log: EventLog, limit: Optional[int] = None) -> str:
+    """Chronological one-line-per-event listing (debug aid)."""
+    lines = []
+    for e in log:
+        name = type(e).__name__.replace("Event", "")
+        detail = ""
+        if isinstance(e, ComputeEvent):
+            detail = f"level={e.level} seq={e.seq} elapsed={e.elapsed:.4f}"
+        elif isinstance(e, CommEvent):
+            detail = f"level={e.level} purpose={e.purpose} elapsed={e.elapsed:.4f}"
+        elif isinstance(e, RegridEvent):
+            detail = f"fine_level={e.fine_level} grids={e.ngrids}"
+        elif isinstance(e, LocalBalanceEvent):
+            detail = f"level={e.level} moved={e.moved_grids}"
+        elif isinstance(e, GlobalDecisionEvent):
+            detail = f"gain={e.gain:.4f} cost={e.cost:.4f} invoked={e.invoked}"
+        elif isinstance(e, RedistributionEvent):
+            detail = f"grids={e.moved_grids} cells={e.moved_cells}"
+        elif isinstance(e, ProbeEvent):
+            detail = f"alpha={e.alpha_estimate:.5f} beta={e.beta_estimate:.3e}"
+        lines.append(f"{e.time:10.4f}  {name:<16s} {detail}")
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... ({len(log) - limit} more events)")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Metrics: timing results, efficiency (Fig. 8), imbalance measures."""
+
+from .efficiency import efficiency, relative_power
+from .imbalance import imbalance_ratio, max_min_ratio, normalized_std
+from .timing import RunResult
+
+__all__ = [
+    "efficiency",
+    "relative_power",
+    "imbalance_ratio",
+    "max_min_ratio",
+    "normalized_std",
+    "RunResult",
+]

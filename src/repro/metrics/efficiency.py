@@ -1,0 +1,42 @@
+"""Efficiency metric of the paper's Fig. 8.
+
+"the efficiency is defined as: ``efficiency = E(1) / (E * P)``, where
+``E(1)`` is the sequential execution time on one processor, ``E`` is the
+execution time on the distributed system, and ``P`` is equal to the
+summation of each processor's performance relative to the performance used
+for sequential execution."  (Section 5, citing Chen's thesis.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..distsys.system import DistributedSystem
+
+__all__ = ["efficiency", "relative_power"]
+
+
+def relative_power(system: DistributedSystem, reference_weight: float = 1.0) -> float:
+    """``P``: total processor performance relative to the sequential CPU.
+
+    With homogeneous weight-1 processors (the paper's testbed) this is just
+    the processor count.
+    """
+    if reference_weight <= 0:
+        raise ValueError(f"reference_weight must be positive, got {reference_weight}")
+    return sum(p.weight for p in system.processors) / reference_weight
+
+
+def efficiency(
+    sequential_time: float,
+    execution_time: float,
+    power: float,
+) -> float:
+    """``E(1) / (E * P)`` -- 1.0 is perfect scaling."""
+    if sequential_time <= 0:
+        raise ValueError(f"sequential_time must be positive, got {sequential_time}")
+    if execution_time <= 0:
+        raise ValueError(f"execution_time must be positive, got {execution_time}")
+    if power <= 0:
+        raise ValueError(f"power must be positive, got {power}")
+    return sequential_time / (execution_time * power)

@@ -1,0 +1,47 @@
+"""Load-imbalance measures used in diagnostics and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["imbalance_ratio", "max_min_ratio", "normalized_std"]
+
+
+def imbalance_ratio(loads: Mapping[int, float]) -> float:
+    """``max / mean`` of the loads -- 1.0 is perfect balance.
+
+    This is the factor by which the bulk-synchronous step is slower than an
+    ideally balanced one, so it converts directly into lost wall-clock.
+    """
+    vals = list(loads.values())
+    if not vals:
+        raise ValueError("loads must be non-empty")
+    mean = sum(vals) / len(vals)
+    if mean <= 0:
+        return 1.0
+    return max(vals) / mean
+
+
+def max_min_ratio(loads: Mapping[int, float]) -> float:
+    """``max / min``; ``inf`` when some load is zero but not all."""
+    vals = list(loads.values())
+    if not vals:
+        raise ValueError("loads must be non-empty")
+    hi, lo = max(vals), min(vals)
+    if hi <= 0:
+        return 1.0
+    if lo <= 0:
+        return float("inf")
+    return hi / lo
+
+
+def normalized_std(loads: Mapping[int, float]) -> float:
+    """Coefficient of variation of the loads (0 is perfect balance)."""
+    vals = list(loads.values())
+    if not vals:
+        raise ValueError("loads must be non-empty")
+    mean = sum(vals) / len(vals)
+    if mean <= 0:
+        return 0.0
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return var**0.5 / mean

@@ -1,0 +1,14 @@
+"""Partitioning utilities: grid ownership, capacity shares, grid splitting."""
+
+from .mapping import GridAssignment
+from .proportional import group_targets, processor_targets, proportional_shares
+from .splitter import carve_workload, split_level0_grid
+
+__all__ = [
+    "GridAssignment",
+    "group_targets",
+    "processor_targets",
+    "proportional_shares",
+    "carve_workload",
+    "split_level0_grid",
+]

@@ -1,0 +1,55 @@
+"""Proportional-to-capacity partitioning (paper Section 4.4).
+
+"Suppose the total workload is W, which needs to be partitioned into two
+groups.  Group A consists of nA processors and each processor has the
+performance of pA; group B consists of nB processors and each processor has
+the performance of pB.  Then the global balancing process will partition the
+workload into two portions: W * nA*pA/(nA*pA + nB*pB) for group A and
+W * nB*pB/(nA*pA + nB*pB) for group B."
+
+The same rule applies *within* a group (weights are equal there, so it
+degenerates to an even split) and across any number of groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..distsys.system import DistributedSystem
+
+__all__ = ["proportional_shares", "group_targets", "processor_targets"]
+
+
+def proportional_shares(total: float, capacities: Sequence[float]) -> List[float]:
+    """Split ``total`` proportionally to ``capacities``.
+
+    All capacities must be positive; shares sum to ``total`` exactly up to
+    floating-point rounding.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    caps = [float(c) for c in capacities]
+    if not caps:
+        raise ValueError("capacities must be non-empty")
+    if any(c <= 0 for c in caps):
+        raise ValueError(f"capacities must be positive, got {caps}")
+    s = sum(caps)
+    return [total * c / s for c in caps]
+
+
+def group_targets(system: DistributedSystem, total: float) -> Dict[int, float]:
+    """Target workload per group: ``W * n_g*p_g / sum(n*p)``."""
+    shares = proportional_shares(total, [g.capacity for g in system.groups])
+    return {g.group_id: share for g, share in zip(system.groups, shares)}
+
+
+def processor_targets(system: DistributedSystem, total: float) -> Dict[int, float]:
+    """Target workload per processor, proportional to its weight.
+
+    Used by the group-oblivious parallel DLB baseline (all processors) and
+    by the local phase (restricted to one group's processors and that
+    group's share of the workload).
+    """
+    procs = system.processors
+    shares = proportional_shares(total, [p.weight for p in procs])
+    return {p.pid: share for p, share in zip(procs, shares)}

@@ -1,0 +1,5 @@
+"""Runtime: the executable SAMR run (AMR kernel x simulator x DLB scheme)."""
+
+from .runner import SAMRRunner, default_blocks_per_axis, root_blocks
+
+__all__ = ["SAMRRunner", "default_blocks_per_axis", "root_blocks"]

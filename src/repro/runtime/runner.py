@@ -1,0 +1,288 @@
+"""The SAMR runtime: wires the AMR kernel, the cluster simulator and a DLB
+scheme into one executable run.
+
+:class:`SAMRRunner` implements the integrator hooks: each solver sub-step
+turns into a bulk-synchronous compute phase (per-processor loads from the
+assignment) followed by a ghost/parent-child communication phase; regrids
+rebuild the finer level and hand the new grids to the scheme; the balancing
+hooks delegate to the scheme (Fig. 4's control flow).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..amr.box import Box
+from ..amr.hierarchy import GridHierarchy
+from ..amr.integrator import IntegratorHooks, SAMRIntegrator, SubStep
+from ..amr.regrid import RegridParams, regrid_level
+from ..config import SchemeParams, SimParams
+from ..core.base import BalanceContext, DLBScheme
+from ..core.gain import WorkloadHistory
+from ..distsys.comm import Message, MessageKind
+from ..distsys.events import EventLog, RedistributionEvent, RegridEvent
+from ..distsys.simulator import ClusterSimulator
+from ..distsys.system import DistributedSystem
+from ..metrics.timing import RunResult
+from ..partition.mapping import GridAssignment
+
+__all__ = ["SAMRRunner", "root_blocks", "default_blocks_per_axis"]
+
+
+def default_blocks_per_axis(domain: Box, nprocs: int, min_per_proc: int = 4) -> Tuple[int, ...]:
+    """Choose a root-block tiling giving every processor several blocks.
+
+    Balancing granularity comes from having more level-0 grids than
+    processors; we aim for at least ``min_per_proc`` blocks per processor,
+    axis counts as equal as possible, and block edges that divide the
+    domain exactly.
+    """
+    ndim = domain.ndim
+    shape = domain.shape
+    counts = [1] * ndim
+    # greedily double the axis with the largest current block edge while
+    # the total count is short of the goal and the axis still divides
+    goal = max(1, min_per_proc * nprocs)
+    while _prod(counts) < goal:
+        # candidate axes where doubling still divides the domain evenly
+        cands = [
+            d for d in range(ndim)
+            if shape[d] % (counts[d] * 2) == 0 and shape[d] // (counts[d] * 2) >= 2
+        ]
+        if not cands:
+            break
+        d = max(cands, key=lambda d: shape[d] / counts[d])
+        counts[d] *= 2
+    return tuple(counts)
+
+
+def _prod(xs: Sequence[int]) -> int:
+    out = 1
+    for x in xs:
+        out *= x
+    return out
+
+
+def root_blocks(domain: Box, blocks_per_axis: Sequence[int]) -> List[Box]:
+    """Tile ``domain`` into a regular lattice of blocks.
+
+    Every axis count must divide the domain size on that axis exactly.
+    Blocks are ordered lexicographically by their lattice position, so the
+    list is contiguous along axis 0 first -- the layout the distributed
+    scheme's contiguous group split relies on.
+    """
+    ndim = domain.ndim
+    counts = tuple(int(c) for c in blocks_per_axis)
+    if len(counts) != ndim:
+        raise ValueError(f"blocks_per_axis must have {ndim} entries, got {counts}")
+    shape = domain.shape
+    for d in range(ndim):
+        if counts[d] < 1 or shape[d] % counts[d] != 0:
+            raise ValueError(
+                f"axis {d}: {counts[d]} blocks do not divide {shape[d]} cells"
+            )
+    sizes = [shape[d] // counts[d] for d in range(ndim)]
+    blocks = []
+    for idx in itertools.product(*(range(c) for c in counts)):
+        lo = tuple(domain.lo[d] + idx[d] * sizes[d] for d in range(ndim))
+        hi = tuple(domain.lo[d] + (idx[d] + 1) * sizes[d] for d in range(ndim))
+        blocks.append(Box(lo, hi))
+    return blocks
+
+
+class SAMRRunner(IntegratorHooks):
+    """One simulated SAMR execution: application x system x scheme.
+
+    Parameters
+    ----------
+    app:
+        The :class:`~repro.amr.applications.base.AMRApplication` driving
+        refinement.
+    system:
+        The simulated machine federation.
+    scheme:
+        The DLB policy under test.
+    blocks_per_axis:
+        Root-grid tiling (default: enough blocks for ~4 per processor).
+    dt0:
+        Level-0 time step.
+    sim_params / scheme_params / regrid_params:
+        Knobs; see the respective dataclasses.
+    """
+
+    def __init__(
+        self,
+        app,
+        system: DistributedSystem,
+        scheme: DLBScheme,
+        blocks_per_axis: Optional[Sequence[int]] = None,
+        dt0: float = 1.0,
+        sim_params: Optional[SimParams] = None,
+        scheme_params: Optional[SchemeParams] = None,
+        regrid_params: Optional[RegridParams] = None,
+        log: Optional[EventLog] = None,
+    ) -> None:
+        self.app = app
+        self.system = system
+        self.scheme = scheme
+        self.sim_params = sim_params or SimParams()
+        self.scheme_params = scheme_params or SchemeParams()
+        self.regrid_params = regrid_params or RegridParams()
+
+        self.hierarchy = GridHierarchy(
+            app.domain, app.refinement_ratio, app.max_levels
+        )
+        if blocks_per_axis is None:
+            blocks_per_axis = default_blocks_per_axis(app.domain, system.nprocs)
+        self.hierarchy.create_root_grids(
+            root_blocks(app.domain, blocks_per_axis),
+            work_per_cell=app.work_per_cell(0),
+        )
+        self.sim = ClusterSimulator(system, log)
+        self.assignment = GridAssignment(self.hierarchy, system)
+        self.history = WorkloadHistory()
+        self.ctx = BalanceContext(
+            hierarchy=self.hierarchy,
+            assignment=self.assignment,
+            system=system,
+            sim=self.sim,
+            sim_params=self.sim_params,
+            scheme_params=self.scheme_params,
+            history=self.history,
+        )
+        # Initial adaptation: refine the t=0 initial conditions before
+        # distributing, as production SAMR codes do -- both schemes then
+        # start from the same balanced state and the measured difference is
+        # the *dynamic* behaviour, which is what the paper compares.
+        for level in range(self.hierarchy.max_levels - 1):
+            regrid_level(self.hierarchy, app, level, 0.0, self.regrid_params)
+        scheme.initial_distribution(self.ctx)
+        self.assignment.validate()
+        self.integrator = SAMRIntegrator(self.hierarchy, self, dt0=dt0)
+        self._step_start_clock = 0.0
+        #: per-level sibling-adjacency cache keyed by the hierarchy
+        #: version at which it was computed
+        self._sibling_cache: Dict[int, Tuple[int, List[Tuple[int, int, int]]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # IntegratorHooks
+    # ------------------------------------------------------------------ #
+
+    def solve(self, step: SubStep) -> None:
+        level = step.level
+        loads = self.assignment.level_loads(level)
+        self.sim.run_compute(loads, level=level, seq=step.seq)
+        self.history.record_solve(level, loads)
+        messages = self._ghost_messages(level)
+        messages.extend(self._parent_child_messages(level))
+        if messages:
+            self.sim.run_comm(messages, level=level, purpose="ghost")
+
+    def regrid(self, level: int, time: float) -> None:
+        created = regrid_level(
+            self.hierarchy, self.app, level, time, self.regrid_params
+        )
+        self.assignment.prune()
+        if created:
+            self.sim.charge_overhead(
+                self.sim_params.regrid_seconds_per_grid * len(created),
+                as_balance=False,
+            )
+            self.scheme.place_new_grids(self.ctx, [g.gid for g in created])
+        self.sim.log.record(
+            RegridEvent(
+                time=self.sim.clock,
+                fine_level=level + 1,
+                ngrids=len(created),
+                ncells=sum(g.ncells for g in created),
+            )
+        )
+
+    def local_balance(self, level: int, time: float) -> None:
+        self.scheme.local_balance(self.ctx, level, time)
+
+    def global_balance(self, time: float) -> None:
+        if self.integrator.coarse_steps_done > 0:
+            self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
+        self._step_start_clock = self.sim.clock
+        self.scheme.global_balance(self.ctx, time)
+
+    # ------------------------------------------------------------------ #
+    # message generation
+    # ------------------------------------------------------------------ #
+
+    def _ghost_messages(self, level: int) -> List[Message]:
+        """Sibling ghost-zone exchange for one solve at ``level``."""
+        cached = self._sibling_cache.get(level)
+        if cached is not None and cached[0] == self.hierarchy.version:
+            pairs = cached[1]
+        else:
+            pairs = self.hierarchy.sibling_pairs(level, self.sim_params.ghost_width)
+            self._sibling_cache[level] = (self.hierarchy.version, pairs)
+        bpc = self.sim_params.bytes_per_cell
+        messages: List[Message] = []
+        for gid_a, gid_b, area in pairs:
+            pa = self.assignment.pid_of(gid_a)
+            pb = self.assignment.pid_of(gid_b)
+            if pa == pb:
+                continue
+            # `area` is the two-way exchange volume; split across directions
+            nbytes = area * bpc / 2.0
+            messages.append(Message(pa, pb, nbytes, MessageKind.SIBLING))
+            messages.append(Message(pb, pa, nbytes, MessageKind.SIBLING))
+        return messages
+
+    def _parent_child_messages(self, level: int) -> List[Message]:
+        """Boundary prolongation + restriction between ``level`` and its
+        parent level, for one solve at ``level``."""
+        if level == 0:
+            return []
+        bpc = self.sim_params.bytes_per_cell * self.sim_params.parent_child_factor
+        messages: List[Message] = []
+        for grid in self.hierarchy.level_grids(level):
+            child_pid = self.assignment.pid_of(grid.gid)
+            parent_pid = self.assignment.pid_of(grid.parent_gid)
+            if child_pid == parent_pid:
+                continue
+            nbytes = grid.boundary_cells() * bpc
+            messages.append(Message(parent_pid, child_pid, nbytes, MessageKind.PARENT_CHILD))
+            messages.append(Message(child_pid, parent_pid, nbytes, MessageKind.PARENT_CHILD))
+        return messages
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+
+    def run(self, ncoarse_steps: int) -> RunResult:
+        """Advance ``ncoarse_steps`` level-0 steps and summarise."""
+        if ncoarse_steps < 1:
+            raise ValueError(f"ncoarse_steps must be >= 1, got {ncoarse_steps}")
+        self.integrator.run(ncoarse_steps)
+        # close the last coarse step's history record
+        self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
+        self._step_start_clock = self.sim.clock
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Snapshot of the run so far as a :class:`RunResult`."""
+        return RunResult(
+            scheme=self.scheme.name,
+            app=self.app.name,
+            system=f"{self.system.ngroups}x{self.system.groups[0].nprocs}procs",
+            nsteps=self.integrator.coarse_steps_done,
+            total_time=self.sim.clock,
+            compute_time=self.sim.compute_time,
+            comm_time=self.sim.comm_time,
+            balance_overhead=self.sim.balance_overhead,
+            probe_time=self.sim.probe_time,
+            local_comm_busy=self.sim.local_comm_busy,
+            remote_comm_busy=self.sim.remote_comm_busy,
+            comm_by_purpose=dict(self.sim.comm_time_by_purpose),
+            remote_bytes_by_kind=dict(self.sim.remote_bytes_by_kind),
+            final_grids=self.hierarchy.ngrids,
+            final_cells=self.hierarchy.total_cells(),
+            redistributions=len(self.sim.log.of_type(RedistributionEvent)),
+            decisions=len(getattr(self.scheme, "decisions", [])),
+            events=self.sim.log,
+        )

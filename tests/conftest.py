@@ -1,0 +1,72 @@
+"""Shared fixtures: small, fast instances of every major object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amr.applications import AMR64, BlastWave, ShockPool3D
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.config import SchemeParams, SimParams
+from repro.distsys import ConstantTraffic, lan_system, parallel_system, wan_system
+from repro.runtime import root_blocks
+
+
+@pytest.fixture
+def domain3d() -> Box:
+    return Box.cube(0, 16, 3)
+
+
+@pytest.fixture
+def domain2d() -> Box:
+    return Box.cube(0, 16, 2)
+
+
+@pytest.fixture
+def small_hierarchy(domain3d) -> GridHierarchy:
+    """A 3-level hierarchy with four root slabs, no refinement yet."""
+    h = GridHierarchy(domain3d, refinement_ratio=2, max_levels=3)
+    h.create_root_grids(root_blocks(domain3d, (4, 1, 1)))
+    return h
+
+
+@pytest.fixture
+def shockpool_app() -> ShockPool3D:
+    return ShockPool3D(domain_cells=16, max_levels=3)
+
+
+@pytest.fixture
+def amr64_app() -> AMR64:
+    return AMR64(domain_cells=16, max_levels=3, nclumps=8)
+
+
+@pytest.fixture
+def blastwave_app() -> BlastWave:
+    return BlastWave(domain_cells=16, max_levels=3)
+
+
+@pytest.fixture
+def wan2x2():
+    """Two groups of two processors over the shared WAN."""
+    return wan_system(2, ConstantTraffic(0.3), base_speed=2.0e4)
+
+
+@pytest.fixture
+def lan2x2():
+    return lan_system(2, ConstantTraffic(0.3), base_speed=2.0e4)
+
+
+@pytest.fixture
+def par4():
+    """One dedicated four-processor machine."""
+    return parallel_system(4, base_speed=2.0e4)
+
+
+@pytest.fixture
+def sim_params() -> SimParams:
+    return SimParams()
+
+
+@pytest.fixture
+def scheme_params() -> SchemeParams:
+    return SchemeParams()

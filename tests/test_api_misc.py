@@ -1,0 +1,124 @@
+"""API-surface and edge-case tests across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import quick_run
+from repro.amr.solver import AdvectionDriver
+from repro.harness import ExperimentConfig, run_experiment, step_timeline
+
+
+class TestTopLevelAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quick_run_validation(self):
+        with pytest.raises(ValueError):
+            quick_run("nope")
+        with pytest.raises(ValueError):
+            quick_run("shockpool3d", scheme_name="nope")
+
+    def test_quick_run_blastwave_parallel(self):
+        r = quick_run("blastwave", procs_per_group=1, steps=2,
+                      scheme_name="parallel")
+        assert r.app == "BlastWave"
+
+    def test_quick_run_amr64_uses_lan(self):
+        """The paper's pairing: AMR64 on the LAN system."""
+        r = quick_run("amr64", procs_per_group=1, steps=2)
+        assert r.total_time > 0
+
+
+class TestSubpackageExports:
+    def test_amr_all(self):
+        import repro.amr as m
+
+        for name in m.__all__:
+            assert hasattr(m, name), name
+
+    def test_distsys_all(self):
+        import repro.distsys as m
+
+        for name in m.__all__:
+            assert hasattr(m, name), name
+
+    def test_core_all(self):
+        import repro.core as m
+
+        for name in m.__all__:
+            assert hasattr(m, name), name
+
+    def test_harness_all(self):
+        import repro.harness as m
+
+        for name in m.__all__:
+            assert hasattr(m, name), name
+
+    def test_solver_all(self):
+        import repro.amr.solver as m
+
+        for name in m.__all__:
+            assert hasattr(m, name), name
+
+
+class TestTimelineEdgeCases:
+    def test_static_scheme_timeline_single_bucket(self):
+        """No GlobalDecisionEvents -> everything lands in one bucket."""
+        cfg = ExperimentConfig(procs_per_group=1, steps=2)
+        r = run_experiment(cfg, "static")
+        steps = step_timeline(r.events)
+        assert len(steps) == 1
+        assert steps[0]["compute"] == pytest.approx(r.compute_time)
+
+
+class TestSolverOtherDims:
+    def test_1d_advection_driver(self):
+        drv = AdvectionDriver(
+            domain_cells=64,
+            velocity=(0.5,),
+            initial=lambda x: np.exp(-((x - 0.25) ** 2) / (2 * 0.03**2)),
+            ndim=1,
+            max_levels=2,
+            threshold=0.05,
+        )
+        m0 = drv.total_mass()
+        drv.run(8)
+        assert drv.total_mass() == pytest.approx(m0, rel=0.05)
+        # peak moved right
+        pts = np.array([[0.25 + 0.5 * drv.time], [0.25]])
+        vals = drv.sample(pts)
+        assert vals[0] > vals[1]
+
+    def test_3d_advection_smoke(self):
+        drv = AdvectionDriver(
+            domain_cells=8,
+            velocity=(0.3, 0.0, 0.0),
+            initial=lambda x, y, z: np.exp(
+                -((x - 0.4) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2) / (2 * 0.1**2)
+            ),
+            ndim=3,
+            max_levels=2,
+            threshold=0.2,
+        )
+        drv.run(2)
+        drv.hierarchy.validate()
+
+
+class TestDescribeStrings:
+    def test_application_describe(self):
+        from repro.amr.applications import AMR64
+
+        text = AMR64(domain_cells=16).describe()
+        assert "AMR64" in text and "16^3" in text
+
+    def test_runresult_summary_lists_redistributions(self):
+        cfg = ExperimentConfig(procs_per_group=2, steps=6)
+        r = run_experiment(cfg, "distributed")
+        assert f"redistributions {r.redistributions}" in r.summary()

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.app == "shockpool3d"
+        assert args.scheme == "distributed"
+        assert args.gamma == 2.0
+
+    def test_sweep_configs(self):
+        args = build_parser().parse_args(["sweep", "--configs", "1", "2"])
+        assert args.configs == [1, 2]
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig2"])
+        assert args.name == "fig2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(["run", "--procs", "1", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "distributed DLB" in out
+        assert "total" in out
+
+    def test_run_parallel_scheme(self, capsys):
+        rc = main(["run", "--procs", "1", "--steps", "2", "--scheme", "parallel"])
+        assert rc == 0
+        assert "parallel DLB" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--procs", "1", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert "parallel DLB" in out and "distributed DLB" in out
+
+    def test_sweep_with_efficiency(self, capsys):
+        rc = main(["sweep", "--configs", "1", "--steps", "2", "--efficiency"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eff (dist)" in out
+        assert "average improvement" in out
+
+    def test_figure_fig2(self, capsys):
+        rc = main(["figure", "fig2"])
+        assert rc == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_run_static_scheme(self, capsys):
+        rc = main(["run", "--procs", "1", "--steps", "2", "--scheme", "static"])
+        assert rc == 0
+        assert "static (no DLB)" in capsys.readouterr().out
+
+    def test_run_timeline_flag(self, capsys):
+        rc = main(["run", "--procs", "1", "--steps", "2", "--timeline"])
+        assert rc == 0
+        assert "Per-coarse-step activity" in capsys.readouterr().out
+
+    def test_run_json_output(self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        rc = main(["run", "--procs", "1", "--steps", "2", "--json", str(path)])
+        assert rc == 0
+        from repro.harness import load_run
+
+        assert load_run(path).total_time > 0
+
+    def test_sweep_json_output(self, capsys, tmp_path):
+        path = tmp_path / "s.json"
+        rc = main(["sweep", "--configs", "1", "--steps", "2", "--json", str(path)])
+        assert rc == 0
+        from repro.harness import load_sweep
+
+        assert len(load_sweep(path).pairs) == 1
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "figure", "fig2"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "Fig. 2" in proc.stdout

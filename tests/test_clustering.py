@@ -1,0 +1,153 @@
+"""Unit and property tests for Berger--Rigoutsos clustering.
+
+The clustering invariants every SAMR grid generator must hold:
+
+* every flagged cell is covered by some output box;
+* output boxes are pairwise disjoint;
+* output boxes stay inside the input field's box;
+* each output box meets the efficiency threshold unless it cannot be
+  split further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.clustering import ClusterParams, cluster_flags, fill_efficiency
+from repro.amr.flagging import FlagField
+
+
+def make_field(shape, coords):
+    flags = np.zeros(shape, dtype=bool)
+    for c in coords:
+        flags[c] = True
+    return FlagField(Box((0,) * len(shape), shape), flags)
+
+
+class TestClusterParams:
+    def test_bad_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            ClusterParams(min_efficiency=0.0)
+        with pytest.raises(ValueError):
+            ClusterParams(min_efficiency=1.5)
+
+    def test_bad_max_cells_raises(self):
+        with pytest.raises(ValueError):
+            ClusterParams(max_cells=0)
+
+    def test_bad_min_width_raises(self):
+        with pytest.raises(ValueError):
+            ClusterParams(min_width=0)
+
+
+class TestFillEfficiency:
+    def test_full_box(self):
+        f = FlagField.full(Box((0, 0), (4, 4)))
+        assert fill_efficiency(f, f.box) == 1.0
+
+    def test_empty_box_is_zero(self):
+        f = FlagField.full(Box((0, 0), (4, 4)))
+        assert fill_efficiency(f, Box((2, 2), (2, 4))) == 0.0
+
+    def test_partial(self):
+        f = make_field((4, 4), [(0, 0), (0, 1)])
+        assert fill_efficiency(f, f.box) == 2 / 16
+
+
+class TestClusterFlags:
+    def test_no_flags_no_boxes(self):
+        f = FlagField.empty(Box((0, 0), (8, 8)))
+        assert cluster_flags(f) == []
+
+    def test_single_blob_single_box(self):
+        f = make_field((8, 8), [(2, 2), (2, 3), (3, 2), (3, 3)])
+        boxes = cluster_flags(f)
+        assert boxes == [Box((2, 2), (4, 4))]
+
+    def test_two_separated_blobs_split(self):
+        f = make_field((16, 4), [(1, 1), (1, 2), (14, 1), (14, 2)])
+        boxes = cluster_flags(f, ClusterParams(min_efficiency=0.7, min_width=1))
+        assert len(boxes) == 2
+
+    def test_max_cells_respected_for_splittable_boxes(self):
+        f = FlagField.full(Box((0, 0), (16, 16)))
+        params = ClusterParams(min_efficiency=0.5, max_cells=64, min_width=2)
+        boxes = cluster_flags(f, params)
+        assert all(b.ncells <= 64 for b in boxes)
+
+    def test_deterministic_output(self):
+        rng = np.random.default_rng(3)
+        flags = rng.random((20, 20)) < 0.3
+        f = FlagField(Box((0, 0), (20, 20)), flags)
+        assert cluster_flags(f) == cluster_flags(f)
+
+    def test_diagonal_line_efficient_boxes(self):
+        n = 16
+        f = make_field((n, n), [(i, i) for i in range(n)])
+        boxes = cluster_flags(f, ClusterParams(min_efficiency=0.5, min_width=1))
+        for b in boxes:
+            eff = fill_efficiency(f, b)
+            splittable = any(s >= 2 for s in b.shape)
+            assert eff >= 0.5 or not splittable
+
+    def test_l_shape_produces_multiple_boxes(self):
+        coords = [(i, 0) for i in range(8)] + [(0, j) for j in range(8)]
+        f = make_field((8, 8), coords)
+        boxes = cluster_flags(f, ClusterParams(min_efficiency=0.8, min_width=1))
+        assert len(boxes) >= 2
+        covered = set()
+        for b in boxes:
+            covered |= set(b)
+        assert set((c[0], c[1]) for c in coords) <= covered
+
+
+@st.composite
+def random_fields(draw):
+    w = draw(st.integers(min_value=1, max_value=20))
+    h = draw(st.integers(min_value=1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    density = draw(st.sampled_from([0.02, 0.1, 0.3, 0.7]))
+    rng = np.random.default_rng(seed)
+    flags = rng.random((w, h)) < density
+    return FlagField(Box((0, 0), (w, h)), flags)
+
+
+class TestClusterProperties:
+    @given(random_fields())
+    @settings(max_examples=60, deadline=None)
+    def test_coverage(self, field):
+        """Every flagged cell lies in exactly one output box."""
+        boxes = cluster_flags(field)
+        for coord in map(tuple, field.flagged_coordinates()):
+            hits = sum(b.contains_point(coord) for b in boxes)
+            assert hits == 1
+
+    @given(random_fields())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_and_contained(self, field):
+        boxes = cluster_flags(field)
+        for i, a in enumerate(boxes):
+            assert field.box.contains(a)
+            assert not a.is_empty
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)
+
+    @given(random_fields())
+    @settings(max_examples=60, deadline=None)
+    def test_efficiency_or_unsplittable(self, field):
+        params = ClusterParams(min_efficiency=0.6, min_width=2)
+        for b in cluster_flags(field, params):
+            eff = fill_efficiency(field, b)
+            splittable = any(s >= 2 * params.min_width for s in b.shape)
+            assert eff >= params.min_efficiency or not splittable
+
+    @given(random_fields())
+    @settings(max_examples=30, deadline=None)
+    def test_boxes_contain_flags(self, field):
+        """No output box is empty of flags (shrink-to-fit)."""
+        for b in cluster_flags(field):
+            assert field.restrict(b).any

@@ -1,0 +1,62 @@
+"""Unit tests for the event log."""
+
+from __future__ import annotations
+
+from repro.distsys.events import (
+    CommEvent,
+    ComputeEvent,
+    EventLog,
+    GlobalDecisionEvent,
+    RegridEvent,
+)
+
+
+def make_log():
+    log = EventLog()
+    log.record(ComputeEvent(time=1.0, level=0, seq=1, elapsed=1.0,
+                            max_load=10, total_load=20))
+    log.record(CommEvent(time=2.0, level=0, purpose="ghost", elapsed=1.0,
+                         local_time=0.5, remote_time=0.5, local_bytes=1,
+                         remote_bytes=2))
+    log.record(ComputeEvent(time=3.0, level=1, seq=2, elapsed=1.0,
+                            max_load=5, total_load=10))
+    return log
+
+
+class TestEventLog:
+    def test_len_and_iter(self):
+        log = make_log()
+        assert len(log) == 3
+        assert len(list(log)) == 3
+
+    def test_of_type_filters_exactly(self):
+        log = make_log()
+        computes = log.of_type(ComputeEvent)
+        assert len(computes) == 2
+        assert all(isinstance(e, ComputeEvent) for e in computes)
+        assert log.of_type(RegridEvent) == []
+
+    def test_of_type_is_exact_not_subclass(self):
+        log = make_log()
+        from repro.distsys.events import Event
+
+        assert log.of_type(Event) == []  # no bare Events recorded
+
+    def test_last(self):
+        log = make_log()
+        assert log.last(ComputeEvent).seq == 2
+        assert log.last(GlobalDecisionEvent) is None
+
+    def test_between(self):
+        log = make_log()
+        assert len(log.between(1.5, 3.0)) == 1
+        assert len(log.between(0.0, 10.0)) == 3
+
+    def test_events_are_frozen(self):
+        log = make_log()
+        ev = log.of_type(ComputeEvent)[0]
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ev.time = 5.0

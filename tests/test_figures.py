@@ -1,0 +1,156 @@
+"""Tests for the per-figure regeneration functions (small configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentConfig
+from repro.harness.figures import (
+    fig1_hierarchy,
+    fig2_integration_order,
+    fig3_parallel_vs_distributed,
+    fig4_flowchart_trace,
+    fig5_balance_points,
+    fig6_global_redistribution,
+    fig7_execution_time,
+    fig8_efficiency,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_hierarchy(domain_cells=16, max_levels=4)
+
+    def test_four_levels_exist(self, result):
+        assert len(result.levels) == 4
+        assert all(ngrids > 0 for _, ngrids, _ in result.levels)
+
+    def test_hierarchy_valid(self, result):
+        result.hierarchy.validate()
+
+    def test_render_mentions_levels(self, result):
+        assert "level" in result.render()
+
+
+class TestFig2:
+    def test_matches_paper(self):
+        r = fig2_integration_order()
+        assert r.matches_paper
+        assert len(r.order) == 15
+
+    def test_render_labels_steps(self):
+        out = fig2_integration_order().render()
+        assert "15" in out and "level 3" in out
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        base = ExperimentConfig(app_name="shockpool3d", steps=2)
+        return fig3_parallel_vs_distributed(configs=(1, 2), base=base)
+
+    def test_compute_similar_comm_blows_up(self, result):
+        """Section 3: 'times for parallel computation and distributed
+        computation are similar [...] times for distributed communication
+        are much larger'."""
+        for row in result.rows:
+            assert row.distributed_compute == pytest.approx(
+                row.parallel_compute, rel=0.5
+            )
+            assert row.distributed_comm > 2 * row.parallel_comm
+
+    def test_render(self, result):
+        assert "Fig. 3" in result.render()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_flowchart_trace(
+            ExperimentConfig(procs_per_group=2, steps=3)
+        )
+
+    def test_one_decision_per_coarse_step(self, result):
+        assert result.ndecisions == 3
+
+    def test_redistributions_subset_of_decisions(self, result):
+        assert 0 <= result.nredistributions <= result.ndecisions
+
+    def test_local_balances_happen(self, result):
+        assert result.nlocal_balances > 0
+
+    def test_render_shows_gate(self, result):
+        assert "gain>gamma*cost?" in result.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_balance_points()
+
+    def test_one_global_per_coarse_step(self, result):
+        assert result.globals_per_coarse_step == 1
+
+    def test_local_marks_only_after_coarser_steps(self, result):
+        """Local balancing appears after steps that regrid a finer level
+        (levels 0..max-2), never after finest-level steps."""
+        max_level = max(l for _, l, _ in result.steps)
+        for _seq, level, marks in result.steps:
+            if level == max_level:
+                assert all("local" not in m for m in marks)
+
+    def test_first_step_is_level0(self, result):
+        assert result.steps[0][1] == 0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_global_redistribution()
+
+    def test_moves_from_overloaded_to_underloaded(self, result):
+        assert result.moved_grids > 0
+        assert result.moved_cells > 0
+
+    def test_imbalance_reduced(self, result):
+        assert result.imbalance(result.after) < result.imbalance(result.before)
+
+    def test_render(self, result):
+        assert "Fig. 6" in result.render()
+
+
+class TestFig7Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_execution_time("shockpool3d", configs=(2, 4), steps=3)
+
+    def test_all_improvements_positive(self, result):
+        assert all(i > 0 for i in result.sweep.improvements)
+
+    def test_improvement_grows(self, result):
+        imps = result.sweep.improvements
+        assert imps[-1] > imps[0]
+
+    def test_render_compares_with_paper(self, result):
+        out = result.render()
+        assert "paper" in out
+        assert "improvement" in out
+
+
+class TestFig8Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_efficiency("shockpool3d", configs=(2,), steps=3)
+
+    def test_efficiency_gain_positive(self, result):
+        lo, hi = result.measured_range
+        assert hi > 0
+
+    def test_efficiencies_sane(self, result):
+        for _label, e_par, e_dist, _gain in result.efficiency_rows():
+            assert 0 < e_par <= 1.2
+            assert 0 < e_dist <= 1.2
+
+    def test_render(self, result):
+        assert "Fig. 8" in result.render()

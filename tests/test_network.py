@@ -1,0 +1,93 @@
+"""Unit tests for network links and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsys.network import Link, gigabit_lan, mren_wan, origin2000_interconnect
+from repro.distsys.traffic import ConstantTraffic, NoTraffic
+
+
+class TestLink:
+    def test_transfer_time_is_alpha_plus_beta_l(self):
+        link = Link("test", latency=0.01, bandwidth=1e6)
+        assert link.transfer_time(0, 0.0) == pytest.approx(0.01)
+        assert link.transfer_time(1e6, 0.0) == pytest.approx(1.01)
+
+    def test_beta_is_inverse_rate(self):
+        link = Link("test", latency=0.0, bandwidth=2e6)
+        assert link.beta(0.0) == pytest.approx(5e-7)
+
+    def test_occupancy_reduces_bandwidth(self):
+        link = Link("test", latency=0.001, bandwidth=1e6,
+                    traffic=ConstantTraffic(0.5))
+        assert link.effective_bandwidth(0.0) == pytest.approx(5e5)
+
+    def test_occupancy_inflates_latency(self):
+        link = Link("t", latency=0.001, bandwidth=1e6,
+                    traffic=ConstantTraffic(0.5), latency_load_factor=4.0)
+        assert link.effective_latency(0.0) == pytest.approx(0.003)
+
+    def test_dedicated_link_unaffected(self):
+        link = Link("t", latency=0.001, bandwidth=1e6, traffic=NoTraffic())
+        assert link.alpha(100.0) == 0.001
+        assert link.effective_bandwidth(100.0) == 1e6
+
+    def test_negative_bytes_raise(self):
+        link = Link("t", latency=0.0, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1, 0.0)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            Link("t", latency=-1, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            Link("t", latency=0, bandwidth=0)
+        with pytest.raises(ValueError):
+            Link("t", latency=0, bandwidth=1, latency_load_factor=-1)
+
+
+class TestPresets:
+    def test_ordering_of_latencies(self):
+        """Origin interconnect << LAN << WAN, as in the paper's testbed."""
+        assert (
+            origin2000_interconnect().latency
+            < gigabit_lan().latency
+            < mren_wan().latency
+        )
+
+    def test_ordering_of_bandwidths(self):
+        assert (
+            origin2000_interconnect().bandwidth
+            > gigabit_lan().bandwidth
+            > mren_wan().bandwidth
+        )
+
+    def test_origin_is_dedicated(self):
+        link = origin2000_interconnect()
+        assert isinstance(link.traffic, NoTraffic)
+
+    def test_presets_accept_traffic(self):
+        t = ConstantTraffic(0.3)
+        assert gigabit_lan(t).traffic is t
+        assert mren_wan(t).traffic is t
+
+    def test_wan_transfer_dominated_by_latency_for_small_messages(self):
+        wan = mren_wan()
+        t = wan.transfer_time(64, 0.0)
+        assert t == pytest.approx(wan.latency + wan.per_message_overhead, rel=0.01)
+
+    def test_phase_time_components(self):
+        link = Link("t", latency=0.01, bandwidth=1e6, per_message_overhead=0.001)
+        # alpha once + 3 overheads + bytes
+        assert link.phase_time(3, 1e6, 0.0) == pytest.approx(0.01 + 0.003 + 1.0)
+        assert link.phase_time(0, 0.0, 0.0) == 0.0
+
+    def test_phase_time_validation(self):
+        link = Link("t", latency=0.01, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.phase_time(-1, 0, 0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            Link("t", latency=0.0, bandwidth=1e6, per_message_overhead=-1)

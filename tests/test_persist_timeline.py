@@ -1,0 +1,119 @@
+"""Tests for JSON persistence and timeline rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    load_run,
+    load_sweep,
+    render_event_listing,
+    render_step_timeline,
+    run_experiment,
+    run_sweep,
+    save_run,
+    save_sweep,
+    step_timeline,
+)
+from repro.harness.persist import run_result_from_dict, run_result_to_dict
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(procs_per_group=2, steps=3), "distributed")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        ExperimentConfig(procs_per_group=1, steps=2), (1,), with_sequential=True
+    )
+
+
+class TestRunPersistence:
+    def test_dict_roundtrip(self, result):
+        d = run_result_to_dict(result)
+        back = run_result_from_dict(d)
+        assert back.total_time == result.total_time
+        assert back.scheme == result.scheme
+        assert back.remote_bytes_by_kind == result.remote_bytes_by_kind
+        assert back.events is None  # events summarised, not kept
+
+    def test_dict_is_json_safe(self, result):
+        json.dumps(run_result_to_dict(result))
+
+    def test_event_counts_summarised(self, result):
+        d = run_result_to_dict(result)
+        assert d["event_counts"]["ComputeEvent"] > 0
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_run(result, path)
+        back = load_run(path)
+        assert back.total_time == pytest.approx(result.total_time)
+        assert back.comm_by_purpose == result.comm_by_purpose
+
+    def test_wrong_kind_rejected(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_run(result, path)
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "kind": "run", "run": {}}))
+        with pytest.raises(ValueError):
+            load_run(path)
+
+
+class TestSweepPersistence:
+    def test_file_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        back = load_sweep(path)
+        assert len(back.pairs) == len(sweep.pairs)
+        assert back.pairs[0].improvement == pytest.approx(sweep.pairs[0].improvement)
+        # derived efficiency still computes from the reloaded sequential run
+        assert back.pairs[0].parallel_efficiency == pytest.approx(
+            sweep.pairs[0].parallel_efficiency
+        )
+
+    def test_config_reconstructed(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        back = load_sweep(path)
+        assert back.pairs[0].config.label == sweep.pairs[0].config.label
+        assert back.pairs[0].config.gamma == sweep.pairs[0].config.gamma
+
+
+class TestTimeline:
+    def test_one_row_per_coarse_step(self, result):
+        steps = step_timeline(result.events)
+        assert len(steps) == result.nsteps
+
+    def test_compute_sums_match_total(self, result):
+        steps = step_timeline(result.events)
+        total_compute = sum(s["compute"] for s in steps)
+        assert total_compute == pytest.approx(result.compute_time, rel=1e-9)
+
+    def test_regrid_counts(self, result):
+        steps = step_timeline(result.events)
+        # 3 levels -> 1 + 2 regrids per coarse step
+        assert all(s["regrids"] == 3 for s in steps)
+
+    def test_render_table(self, result):
+        out = render_step_timeline(result.events)
+        assert "Per-coarse-step activity" in out
+        assert str(result.nsteps - 1) in out
+
+    def test_event_listing_limit(self, result):
+        out = render_event_listing(result.events, limit=5)
+        assert "more events" in out
+        assert len(out.splitlines()) == 6
+
+    def test_event_listing_full(self, result):
+        out = render_event_listing(result.events)
+        assert len(out.splitlines()) == len(result.events)

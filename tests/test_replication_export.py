@@ -1,0 +1,110 @@
+"""Tests for seed replication and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    ReplicatedResult,
+    fig3_to_csv,
+    fig8_to_csv,
+    replicate,
+    run_sweep,
+    sweep_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    cfg = ExperimentConfig(procs_per_group=1, steps=3)
+    return replicate(cfg, seeds=(1, 2, 3))
+
+
+class TestReplicate:
+    def test_one_pair_per_seed(self, replicated):
+        assert len(replicated.pairs) == 3
+        assert replicated.seeds == [1, 2, 3]
+
+    def test_statistics_consistent(self, replicated):
+        vals = replicated.improvements
+        assert replicated.min_improvement == min(vals)
+        assert replicated.max_improvement == max(vals)
+        assert (
+            replicated.min_improvement
+            <= replicated.mean_improvement
+            <= replicated.max_improvement
+        )
+        assert replicated.std_improvement >= 0.0
+
+    def test_seeds_actually_vary_the_runs(self, replicated):
+        """Bursty traffic realisations differ, so totals differ."""
+        totals = {round(p.parallel.total_time, 9) for p in replicated.pairs}
+        assert len(totals) > 1
+
+    def test_single_seed_std_zero(self):
+        cfg = ExperimentConfig(procs_per_group=1, steps=2)
+        r = replicate(cfg, seeds=(7,))
+        assert r.std_improvement == 0.0
+
+    def test_empty_seeds_raise(self):
+        with pytest.raises(ValueError):
+            replicate(ExperimentConfig(), seeds=())
+
+    def test_summary_mentions_spread(self, replicated):
+        text = replicated.summary()
+        assert "+/-" in text and "traffic seeds" in text
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(
+            ExperimentConfig(procs_per_group=1, steps=2), (1,),
+            with_sequential=True,
+        )
+
+    def test_sweep_csv_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sweep, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["config"] == "1+1"
+        assert float(rows[0]["parallel_total_s"]) == pytest.approx(
+            sweep.pairs[0].parallel.total_time
+        )
+        assert float(rows[0]["parallel_efficiency"]) > 0
+
+    def test_sweep_csv_without_sequential(self, tmp_path):
+        sweep = run_sweep(ExperimentConfig(procs_per_group=1, steps=2), (1,))
+        path = tmp_path / "s.csv"
+        sweep_to_csv(sweep, path)
+        with open(path) as fh:
+            header = fh.readline()
+        assert "sequential" not in header
+
+    def test_fig3_csv(self, tmp_path):
+        from repro.harness import fig3_parallel_vs_distributed
+
+        result = fig3_parallel_vs_distributed(
+            configs=(1,), base=ExperimentConfig(steps=2)
+        )
+        path = tmp_path / "fig3.csv"
+        fig3_to_csv(result, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["config"] == "1+1"
+        assert float(rows[0]["distributed_comm_s"]) > 0
+
+    def test_fig8_csv(self, tmp_path):
+        from repro.harness import fig8_efficiency
+
+        result = fig8_efficiency("shockpool3d", configs=(1,), steps=2)
+        path = tmp_path / "fig8.csv"
+        fig8_to_csv(result, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert 0 < float(rows[0]["parallel_efficiency"]) <= 1.05

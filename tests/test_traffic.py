@@ -1,0 +1,121 @@
+"""Unit tests for background-traffic models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsys.traffic import (
+    MAX_OCCUPANCY,
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    NoTraffic,
+    TraceTraffic,
+)
+
+times = st.floats(min_value=0.0, max_value=1.0e5, allow_nan=False)
+
+
+class TestNoTraffic:
+    @given(times)
+    def test_always_zero(self, t):
+        assert NoTraffic().occupancy(t) == 0.0
+
+
+class TestConstantTraffic:
+    @given(times)
+    def test_constant(self, t):
+        assert ConstantTraffic(0.4).occupancy(t) == 0.4
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ConstantTraffic(-0.1)
+        with pytest.raises(ValueError):
+            ConstantTraffic(0.99)
+
+
+class TestDiurnalTraffic:
+    def test_periodicity(self):
+        m = DiurnalTraffic(mean=0.4, amplitude=0.2, period=100.0)
+        assert m.occupancy(13.0) == pytest.approx(m.occupancy(113.0))
+
+    @given(times)
+    def test_clamped(self, t):
+        m = DiurnalTraffic(mean=0.5, amplitude=0.9, period=60.0)
+        assert 0.0 <= m.occupancy(t) <= MAX_OCCUPANCY
+
+    def test_mean_at_phase_zero(self):
+        m = DiurnalTraffic(mean=0.35, amplitude=0.25, period=600.0)
+        assert m.occupancy(0.0) == pytest.approx(0.35)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            DiurnalTraffic(period=0)
+        with pytest.raises(ValueError):
+            DiurnalTraffic(amplitude=-1)
+
+
+class TestBurstyTraffic:
+    def test_deterministic(self):
+        a = BurstyTraffic(seed=4)
+        b = BurstyTraffic(seed=4)
+        for t in np.linspace(0, 500, 37):
+            assert a.occupancy(t) == b.occupancy(t)
+
+    def test_values_are_base_or_burst(self):
+        m = BurstyTraffic(seed=1, base=0.1, burst=0.7)
+        vals = {m.occupancy(t) for t in np.arange(0, 2000, 20.0)}
+        assert vals <= {0.1, 0.7}
+        assert len(vals) == 2  # both states occur over a long window
+
+    def test_constant_within_bucket(self):
+        m = BurstyTraffic(seed=2, bucket_seconds=50.0)
+        assert m.occupancy(10.0) == m.occupancy(49.9)
+
+    def test_burst_probability_respected(self):
+        m = BurstyTraffic(seed=3, burst_probability=0.25, bucket_seconds=1.0)
+        samples = [m.occupancy(t) for t in range(5000)]
+        frac = sum(1 for s in samples if s == m.burst) / len(samples)
+        assert 0.2 < frac < 0.3
+
+    def test_extreme_probabilities(self):
+        always = BurstyTraffic(seed=0, burst_probability=1.0)
+        never = BurstyTraffic(seed=0, burst_probability=0.0)
+        assert always.occupancy(5.0) == always.burst
+        assert never.occupancy(5.0) == never.base
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(bucket_seconds=0)
+        with pytest.raises(ValueError):
+            BurstyTraffic(burst_probability=1.5)
+        with pytest.raises(ValueError):
+            BurstyTraffic(burst=0.99)
+
+
+class TestTraceTraffic:
+    def test_step_function(self):
+        m = TraceTraffic([0.0, 10.0, 20.0], [0.1, 0.5, 0.2])
+        assert m.occupancy(5.0) == 0.1
+        assert m.occupancy(10.0) == 0.5
+        assert m.occupancy(15.0) == 0.5
+        assert m.occupancy(1000.0) == 0.2
+
+    def test_must_cover_t0(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([5.0], [0.2])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([0.0, 0.0], [0.1, 0.2])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([0.0, 1.0], [0.1])
+
+    def test_occupancy_bounds_validated(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([0.0], [0.99])
