@@ -5,13 +5,16 @@ Subcommands
 ``run``      one (application, system, scheme) experiment, print its summary
 ``compare``  both schemes on one pinned configuration, print the verdict
 ``sweep``    the paper's 1+1 .. 8+8 sweep with improvement/efficiency table
+``faults``   paired runs across fault scenarios with resilience metrics
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
 
 Examples
 --------
     python -m repro run --app shockpool3d --network wan --procs 2 --steps 4
     python -m repro compare --app amr64 --network lan --procs 4
+    python -m repro compare --fault slowdown --fault-start 2 --fault-duration 6
     python -m repro sweep --app shockpool3d --configs 1 2 4
+    python -m repro faults --procs 2 --steps 6
     python -m repro figure fig2
 """
 
@@ -20,11 +23,14 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from .config import FaultParams
 from .harness import (
+    FAULT_SWEEP_SCENARIOS,
     ExperimentConfig,
     format_percent,
     format_table,
     run_experiment,
+    run_fault_scenarios,
     run_paired,
     run_sweep,
 )
@@ -55,6 +61,33 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                    help="gain/cost gate factor (default: 2.0, as in the paper)")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the result(s) to PATH as JSON")
+    fg = p.add_argument_group("fault injection")
+    fg.add_argument("--fault", default="none",
+                    choices=list(FAULT_SWEEP_SCENARIOS),
+                    help="fault scenario to inject (default: none)")
+    fg.add_argument("--fault-group", type=int, default=1, metavar="G",
+                    help="group the fault targets (default: 1)")
+    fg.add_argument("--fault-start", type=float, default=2.0, metavar="T",
+                    help="fault window start, simulated seconds (default: 2)")
+    fg.add_argument("--fault-duration", type=float, default=6.0, metavar="D",
+                    help="fault window length, simulated seconds (default: 6)")
+    fg.add_argument("--fault-severity", type=float, default=4.0, metavar="F",
+                    help="slowdown factor of the affected resource (default: 4)")
+    fg.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for stochastic fault load models (default: 0)")
+
+
+def _fault_from(args: argparse.Namespace) -> Optional[FaultParams]:
+    if args.fault == "none":
+        return None
+    return FaultParams(
+        scenario=args.fault,
+        group=args.fault_group,
+        start=args.fault_start,
+        duration=args.fault_duration,
+        severity=args.fault_severity,
+        seed=args.fault_seed,
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -68,6 +101,7 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         traffic_kind=args.traffic,
         traffic_level=args.traffic_level,
         gamma=args.gamma,
+        fault=_fault_from(args),
     )
 
 
@@ -95,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N", help="processors per group (default: 1 2 4 6 8)")
     p_sweep.add_argument("--efficiency", action="store_true",
                          help="also run the sequential reference for Fig. 8 style output")
+
+    p_faults = sub.add_parser(
+        "faults", help="paired runs across fault scenarios, resilience table"
+    )
+    _add_experiment_args(p_faults)
+    p_faults.add_argument(
+        "--scenarios", nargs="+", default=list(FAULT_SWEEP_SCENARIOS),
+        choices=list(FAULT_SWEEP_SCENARIOS), metavar="S",
+        help="scenarios to run (default: all, with 'none' as control)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name",
@@ -162,6 +205,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .faults import resilience_report
+
+    # template carrying the window/severity flags; each scenario swaps only
+    # the kind ("none" rows drop it entirely)
+    template = FaultParams(
+        scenario="slowdown",
+        group=args.fault_group,
+        start=args.fault_start,
+        duration=args.fault_duration,
+        severity=args.fault_severity,
+        seed=args.fault_seed,
+    )
+    cfg = replace(_config_from(args), fault=template)
+    results = run_fault_scenarios(cfg, tuple(args.scenarios))
+    rows = []
+    for name, pair in results.items():
+        rep = resilience_report(pair.distributed.events)
+        ttr = rep.mean_time_to_rebalance
+        rows.append(
+            (
+                name,
+                pair.parallel.total_time,
+                pair.distributed.total_time,
+                format_percent(pair.improvement),
+                pair.distributed.redistributions,
+                f"{ttr:.3f}s" if ttr is not None else "-",
+            )
+        )
+    headers = ["scenario", "parallel [s]", "distributed [s]", "improvement",
+               "redistr", "t-rebalance"]
+    print(format_table(
+        headers, rows,
+        title=f"{args.app} on {args.network}, fault severity "
+              f"{args.fault_severity:g}x over [{args.fault_start:g}, "
+              f"{args.fault_start + args.fault_duration:g})s",
+    ))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        from .harness.persist import run_result_to_dict
+
+        payload = {
+            name: {
+                "parallel": run_result_to_dict(pair.parallel),
+                "distributed": run_result_to_dict(pair.distributed),
+            }
+            for name, pair in results.items()
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"results written to {args.json}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .harness import figures
 
@@ -186,6 +286,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
         "figure": _cmd_figure,
     }
     return handlers[args.command](args)

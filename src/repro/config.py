@@ -4,7 +4,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SimParams", "SchemeParams"]
+__all__ = ["SimParams", "SchemeParams", "FaultParams"]
+
+#: fault scenarios the harness knows how to build (see
+#: :func:`repro.harness.experiment.make_faults`)
+FAULT_SCENARIOS = (
+    "none",
+    "slowdown",
+    "dropout",
+    "cpu-load",
+    "link-degraded",
+    "mixed",
+)
 
 
 @dataclass(frozen=True)
@@ -97,3 +108,66 @@ class SchemeParams:
             raise ValueError("local_tolerance must be in (0, 1)")
         if self.max_local_moves < 1:
             raise ValueError("max_local_moves must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultParams:
+    """Declarative fault scenario for an experiment.
+
+    A compact, JSON-friendly description that the harness expands into a
+    :class:`repro.faults.FaultSchedule` (see ``make_faults``).  One knob,
+    ``severity``, scales every scenario: it is the slowdown *factor* of the
+    affected resource, so ``severity=4`` means CPUs run 4x slower during a
+    ``"slowdown"`` window and, for the occupancy-style scenarios
+    (``"cpu-load"``, ``"link-degraded"``), the equivalent stolen share
+    ``1 - 1/severity`` (75% at severity 4).
+
+    Parameters
+    ----------
+    scenario:
+        One of ``"none"``, ``"slowdown"`` (transient CPU slowdown of one
+        group), ``"dropout"`` (a group's processors effectively gone for a
+        window), ``"cpu-load"`` (continuous bursty external CPU load on one
+        group), ``"link-degraded"`` (inter-group link occupancy window),
+        ``"mixed"`` (slowdown + link degradation + background CPU weather).
+    group:
+        Index of the targeted group (ignored by ``"link-degraded"``).
+    start / duration:
+        The fault window ``[start, start + duration)`` in simulated
+        seconds (``"cpu-load"`` is continuous and ignores it).
+    severity:
+        Slowdown factor, ``> 1``.
+    seed:
+        Seed for the stochastic scenarios' load models.
+    """
+
+    scenario: str = "none"
+    group: int = 1
+    start: float = 2.0
+    duration: float = 6.0
+    severity: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scenario not in FAULT_SCENARIOS:
+            raise ValueError(
+                f"unknown fault scenario {self.scenario!r}; "
+                f"expected one of {FAULT_SCENARIOS}"
+            )
+        if self.group < 0:
+            raise ValueError("group must be >= 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.severity <= 1.0:
+            raise ValueError(f"severity must be > 1, got {self.severity}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def stolen_share(self) -> float:
+        """Occupancy equivalent of the slowdown factor: ``1 - 1/severity``."""
+        return 1.0 - 1.0 / self.severity

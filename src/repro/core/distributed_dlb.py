@@ -85,7 +85,7 @@ class DistributedDLB(DLBScheme):
         if total <= 0:
             total = sum(g.workload for g in grids)
             eff = {g.gid: g.workload for g in grids}
-        targets = group_targets(ctx.system, total)
+        targets = group_targets(ctx.system, total, time=0.0)
         # contiguous fill: walk sorted grids, advance group when target met
         order = sorted(targets)
         gi = 0
@@ -114,7 +114,8 @@ class DistributedDLB(DLBScheme):
                     continue
                 gtotal = sum(g.workload for g in ggrids)
                 shares = proportional_shares(
-                    gtotal, [p.weight for p in group.processors]
+                    gtotal,
+                    [p.weight * p.availability(0.0) for p in group.processors],
                 )
                 ptargets = {p.pid: s for p, s in zip(group.processors, shares)}
                 for gid, pid in lpt_assign(ggrids, ptargets).items():
@@ -132,7 +133,10 @@ class DistributedDLB(DLBScheme):
             return
         level = ctx.hierarchy.grid(new_gids[0]).level
         loads = ctx.assignment.level_loads(level)
-        weights = {p.pid: p.weight for p in ctx.system.processors}
+        now = ctx.sim.clock
+        weights = {
+            p.pid: p.weight * p.availability(now) for p in ctx.system.processors
+        }
         for gid in sorted(new_gids, key=lambda g: -ctx.hierarchy.grid(g).workload):
             grid = ctx.hierarchy.grid(gid)
             parent_group = ctx.system.groups[
@@ -156,7 +160,10 @@ class DistributedDLB(DLBScheme):
             if not ggrids:
                 continue
             gtotal = sum(g.workload for g in ggrids)
-            shares = proportional_shares(gtotal, [p.weight for p in group.processors])
+            shares = proportional_shares(
+                gtotal,
+                [p.weight * p.availability(time) for p in group.processors],
+            )
             targets = {p.pid: s for p, s in zip(group.processors, shares)}
             owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in ggrids}
             moves = plan_rebalance(
@@ -175,8 +182,13 @@ class DistributedDLB(DLBScheme):
     def global_balance(self, ctx: BalanceContext, time: float) -> None:
         if ctx.system.ngroups < 2:
             return
-        imbalanced = self._imbalance_exists(ctx)
-        gain = estimate_gain(ctx.history, ctx.system)
+        # re-measure the environment at the balance point: imbalance
+        # detection, gain and the redistribution targets all see the
+        # *effective* capacities at this instant, so an externally slowed
+        # group reads as overloaded even when its workload share is nominal
+        now = ctx.sim.clock
+        imbalanced = self._imbalance_exists(ctx, now)
+        gain = estimate_gain(ctx.history, ctx.system, time=now)
         if not imbalanced or gain <= 0.0:
             ctx.sim.log.record(
                 GlobalDecisionEvent(
@@ -190,7 +202,7 @@ class DistributedDLB(DLBScheme):
             )
             return
         # plan the boundary shift; its level-0 cell count is the W of Eq. 1
-        plan = plan_global_redistribution(ctx)
+        plan = plan_global_redistribution(ctx, time=now)
         if plan.empty:
             ctx.sim.log.record(
                 GlobalDecisionEvent(
@@ -246,19 +258,29 @@ class DistributedDLB(DLBScheme):
     # helpers
     # ------------------------------------------------------------------ #
 
-    def _imbalance_exists(self, ctx: BalanceContext) -> bool:
+    def _imbalance_exists(
+        self, ctx: BalanceContext, time: Optional[float] = None
+    ) -> bool:
         """Capacity-normalised group loads differ beyond the threshold?
 
         Uses the recorded history (Eq. 3 totals) -- the same data the gain
-        is computed from -- so detection and gain agree.
+        is computed from -- so detection and gain agree.  With ``time``,
+        normalisation is by *effective* capacity at that instant: a group
+        slowed 4x by external load trips the threshold with unchanged
+        workload, which is exactly the adaptation the dynamic-environment
+        experiments measure.
         """
         rec = ctx.history.last_complete
         if rec is None:
             return False
         totals = rec.group_totals(ctx.system)
-        norm = {
-            g: totals[g] / ctx.system.groups[g].capacity for g in totals
-        }
+        norm = {}
+        for g in totals:
+            group = ctx.system.groups[g]
+            cap = group.capacity if time is None else group.capacity_at(time)
+            if cap <= 0.0:  # pragma: no cover - availability is floored
+                return True
+            norm[g] = totals[g] / cap
         hi = max(norm.values())
         lo = min(norm.values())
         if hi <= 0.0:

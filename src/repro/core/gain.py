@@ -109,8 +109,22 @@ class WorkloadHistory:
         return len(self._complete)
 
 
-def estimate_gain(history: WorkloadHistory, system: DistributedSystem) -> float:
+def estimate_gain(
+    history: WorkloadHistory,
+    system: DistributedSystem,
+    time: Optional[float] = None,
+) -> float:
     """Eq. 4: predicted execution-time decrease from removing group imbalance.
+
+    With ``time`` given, each group's recorded workload is first normalised
+    by its *effective* capacity share at that instant.  This generalises
+    Eq. 4 -- written for groups of equal aggregate performance -- to the
+    dynamic-environment case: a group slowed 4x by external load while
+    holding its nominal share of work is exactly as overloaded as a group
+    holding 4x the work on nominal processors, and the gain estimate now
+    says so.  With equal effective capacities (no faults, homogeneous
+    groups) the normalisation is the identity and the paper's formula is
+    recovered bit for bit.
 
     Returns 0.0 when no history exists yet or all groups are idle.
     """
@@ -120,6 +134,21 @@ def estimate_gain(history: WorkloadHistory, system: DistributedSystem) -> float:
     totals = rec.group_totals(system)
     if not totals:
         return 0.0
+    if time is not None:
+        caps = {g: system.groups[g].capacity_at(time) for g in totals}
+        cap_total = sum(caps.values())
+        n = len(totals)
+        if cap_total > 0.0:
+            # scale each group's load by (even share / its effective share);
+            # the scale factors average to ~1 so the result stays in
+            # workload units and T(t) keeps its meaning
+            totals = {
+                g: totals[g] * cap_total / (n * caps[g])
+                for g in totals
+                if caps[g] > 0.0
+            }
+            if not totals:
+                return 0.0
     w_max = max(totals.values())
     w_min = min(totals.values())
     if w_max <= 0.0:

@@ -102,10 +102,15 @@ def effective_level0_loads(ctx: BalanceContext) -> Dict[int, float]:
     return out
 
 
-def plan_global_redistribution(ctx: BalanceContext) -> GlobalPlan:
+def plan_global_redistribution(
+    ctx: BalanceContext, time: Optional[float] = None
+) -> GlobalPlan:
     """Match donor surpluses to receiver deficits with boundary-near grids.
 
     Pure planning: no hierarchy or assignment mutation, no time charged.
+    ``time`` switches the capacity-proportional targets to the effective
+    (fault-adjusted) capacities at that instant -- the distributed scheme
+    passes its balance-point clock so re-measured weights steer the plan.
     """
     eff = effective_level0_loads(ctx)
     plan = GlobalPlan()
@@ -116,7 +121,7 @@ def plan_global_redistribution(ctx: BalanceContext) -> GlobalPlan:
     loads: Dict[int, float] = {g.group_id: 0.0 for g in ctx.system.groups}
     for gid, load in eff.items():
         loads[group_of[gid]] += load
-    targets = group_targets(ctx.system, total)
+    targets = group_targets(ctx.system, total, time)
     surplus = {g: loads[g] - targets[g] for g in loads}
     donors = sorted((g for g in surplus if surplus[g] > 0), key=lambda g: -surplus[g])
     receivers = sorted((g for g in surplus if surplus[g] < 0), key=lambda g: surplus[g])
@@ -154,7 +159,7 @@ def plan_global_redistribution(ctx: BalanceContext) -> GlobalPlan:
                 continue
             amount = min(need_out, deficit)
             src = ctx.assignment.pid_of(grid.gid)
-            dst = _least_loaded_pid(ctx, recv)
+            dst = _least_loaded_pid(ctx, recv, time)
             if load <= amount * (1.0 + WHOLE_GRID_SLACK):
                 plan.moves.append((grid.gid, src, dst))
                 plan.migrate_cells += grid.ncells
@@ -262,11 +267,23 @@ def _donor_grids_sorted(
     return sorted(grids, key=lambda g: (dist(g), g.gid))
 
 
-def _least_loaded_pid(ctx: BalanceContext, group_id: int) -> int:
-    """Receiver processor: least capacity-normalised level-0 load in group."""
+def _least_loaded_pid(
+    ctx: BalanceContext, group_id: int, time: Optional[float] = None
+) -> int:
+    """Receiver processor: least capacity-normalised level-0 load in group.
+
+    With ``time``, normalisation uses the effective (fault-adjusted) weight
+    at that instant, steering migrated grids toward the group's healthiest
+    processors.
+    """
     group = ctx.system.groups[group_id]
     loads = ctx.assignment.level_loads(0)
+
+    def eff_weight(pid: int) -> float:
+        p = ctx.system.processor(pid)
+        return p.weight if time is None else p.weight * p.availability(time)
+
     return min(
         group.pids,
-        key=lambda pid: (loads[pid] / ctx.system.processor(pid).weight, pid),
+        key=lambda pid: (loads[pid] / eff_weight(pid), pid),
     )

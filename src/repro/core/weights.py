@@ -35,14 +35,19 @@ def relative_weights(speeds: Sequence[float]) -> list:
     return [v / mean for v in vals]
 
 
-def measure_weights(system: DistributedSystem) -> Dict[int, float]:
-    """Per-processor relative weights of a system (pid -> weight).
+def measure_weights(system: DistributedSystem, time: float = 0.0) -> Dict[int, float]:
+    """Per-processor relative weights of a system at ``time`` (pid -> weight).
 
-    The simulated analogue of running the calibration benchmark everywhere:
-    reads each processor's throughput and normalises to mean 1.0.
+    The simulated analogue of running the calibration benchmark everywhere
+    *at that instant*: reads each processor's achievable throughput --
+    nominal speed discounted by external CPU load -- and normalises to mean
+    1.0.  With no fault schedule installed this is time-independent and
+    matches the original static measurement; under faults, re-measuring at
+    global-balance points is how the distributed scheme notices that the
+    environment shifted.
     """
     procs = system.processors
-    weights = relative_weights([p.speed for p in procs])
+    weights = relative_weights([p.effective_speed(time) for p in procs])
     return {p.pid: w for p, w in zip(procs, weights)}
 
 

@@ -12,6 +12,7 @@ from .events import (
     ComputeEvent,
     Event,
     EventLog,
+    FaultEvent,
     GlobalDecisionEvent,
     LocalBalanceEvent,
     ProbeEvent,
@@ -35,6 +36,7 @@ from .traffic import (
     ConstantTraffic,
     DiurnalTraffic,
     NoTraffic,
+    OverlaidTraffic,
     TraceTraffic,
     TrafficModel,
 )
@@ -48,6 +50,7 @@ __all__ = [
     "ComputeEvent",
     "Event",
     "EventLog",
+    "FaultEvent",
     "GlobalDecisionEvent",
     "LocalBalanceEvent",
     "ProbeEvent",
@@ -72,6 +75,7 @@ __all__ = [
     "ConstantTraffic",
     "DiurnalTraffic",
     "NoTraffic",
+    "OverlaidTraffic",
     "TraceTraffic",
     "TrafficModel",
 ]

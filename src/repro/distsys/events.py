@@ -21,6 +21,7 @@ __all__ = [
     "GlobalDecisionEvent",
     "RedistributionEvent",
     "ProbeEvent",
+    "FaultEvent",
     "EventLog",
 ]
 
@@ -34,13 +35,20 @@ class Event:
 
 @dataclass(frozen=True)
 class ComputeEvent(Event):
-    """One solver compute phase at one level."""
+    """One solver compute phase at one level.
+
+    ``ideal_elapsed`` is the duration a perfectly balanced assignment would
+    have achieved on the *fault-adjusted* speeds at the phase start (total
+    work over summed effective speed); ``elapsed / ideal_elapsed`` is the
+    phase's effective imbalance, the quantity the resilience metrics track.
+    """
 
     level: int
     seq: int
     elapsed: float
     max_load: float
     total_load: float
+    ideal_elapsed: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -106,6 +114,20 @@ class ProbeEvent(Event):
     alpha_estimate: float
     beta_estimate: float
     elapsed: float
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """The environment shifted: a fault window opened or closed.
+
+    ``time`` is the *onset* instant of the boundary (which may fall inside
+    the phase during which the simulator first observed it, so the log's
+    append order can run slightly ahead of event time around faults).
+    """
+
+    kind: str  # "slowdown", "dropout", "cpu-load", "link"
+    phase: str  # "start" | "end"
+    description: str
 
 
 E = TypeVar("E", bound=Event)

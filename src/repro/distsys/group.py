@@ -70,8 +70,19 @@ class Group:
 
     @property
     def capacity(self) -> float:
-        """Aggregate compute capacity ``n_g * p_g`` (paper Section 4.4)."""
+        """Aggregate nominal compute capacity ``n_g * p_g`` (paper 4.4)."""
         return sum(p.weight for p in self.processors)
+
+    def capacity_at(self, time: float) -> float:
+        """Effective capacity at ``time``: nominal weights scaled by each
+        processor's external-load availability.
+
+        A group whose processors are slowed 4x contributes a quarter of its
+        nominal capacity; a dropped-out group contributes almost nothing
+        until it rejoins.  This is what the global phase's re-measured
+        weights see.
+        """
+        return sum(p.weight * p.availability(time) for p in self.processors)
 
     @property
     def pids(self) -> List[int]:

@@ -4,15 +4,23 @@ The paper (Section 4): "To address the heterogeneity of processors, each
 processor is assigned a relative performance weight.  When distributing
 workload among processors, the load is balanced proportional to these
 weights."  A processor here is exactly that: an id, a group membership and a
-relative weight; the time to execute ``L`` work units is
-``L / (base_speed * weight)``.
+relative weight -- plus, because shared systems shift under the application,
+an external-load model that scales the *available* speed over time.  The
+time to execute ``L`` work units starting at ``t`` is
+``L / (base_speed * weight * availability(t))``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Processor"]
+from ..faults.load import MAX_CPU_OCCUPANCY, LoadModel, NoLoad
+
+__all__ = ["Processor", "MIN_AVAILABILITY"]
+
+#: availability never falls below this (a stalled processor is slow, not
+#: infinitely slow); mirrors the load models' occupancy clamp
+MIN_AVAILABILITY = 1.0 - MAX_CPU_OCCUPANCY
 
 
 @dataclass(frozen=True)
@@ -33,12 +41,18 @@ class Processor:
     base_speed:
         Work units per second of a weight-1.0 processor.  The absolute value
         only scales reported seconds; ratios between schemes are invariant.
+    load:
+        External CPU-load model (:mod:`repro.faults.load`): the fraction of
+        this processor consumed by competing work as a function of time.
+        The default :class:`~repro.faults.load.NoLoad` reproduces the
+        original static processor exactly.
     """
 
     pid: int
     group_id: int
     weight: float = 1.0
     base_speed: float = 1.0e6
+    load: LoadModel = field(default_factory=NoLoad)
 
     def __post_init__(self) -> None:
         if self.pid < 0:
@@ -50,11 +64,29 @@ class Processor:
 
     @property
     def speed(self) -> float:
-        """Work units per second this processor executes."""
+        """Nominal (zero-external-load) work units per second."""
         return self.base_speed * self.weight
 
-    def execution_time(self, work: float) -> float:
-        """Seconds to execute ``work`` work units."""
+    def availability(self, time: float = 0.0) -> float:
+        """Fraction of nominal speed available to the application at ``time``."""
+        return max(MIN_AVAILABILITY, 1.0 - self.load.occupancy(time))
+
+    def effective_speed(self, time: float = 0.0) -> float:
+        """Work units per second actually achievable at ``time``.
+
+        This is what a calibration benchmark run at ``time`` would measure
+        -- the quantity :func:`~repro.core.weights.measure_weights`
+        normalises into relative weights.
+        """
+        return self.speed * self.availability(time)
+
+    def execution_time(self, work: float, time: float = 0.0) -> float:
+        """Seconds to execute ``work`` work units starting at ``time``.
+
+        External-load conditions are sampled once at the start instant
+        (phases are short relative to fault time scales, the same
+        convention the network links use).
+        """
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
-        return work / self.speed
+        return work / self.effective_speed(time)

@@ -22,6 +22,7 @@ from .events import (
     CommEvent,
     ComputeEvent,
     EventLog,
+    FaultEvent,
     ProbeEvent,
 )
 from .system import DistributedSystem
@@ -52,7 +53,12 @@ class ClusterSimulator:
         repartitioning/rebuild compute charged via :meth:`charge_overhead`.
     """
 
-    def __init__(self, system: DistributedSystem, log: Optional[EventLog] = None) -> None:
+    def __init__(
+        self,
+        system: DistributedSystem,
+        log: Optional[EventLog] = None,
+        fault_schedule=None,
+    ) -> None:
         self.system = system
         self.log = log if log is not None else EventLog()
         self.clock = 0.0
@@ -64,6 +70,29 @@ class ClusterSimulator:
         self.remote_bytes_by_kind: Dict[str, float] = {}
         self.balance_overhead = 0.0
         self.probe_time = 0.0
+        #: fault boundaries still ahead of the clock, soonest first.  The
+        #: schedule is duck-typed (anything with ``boundaries()``) so this
+        #: module stays import-independent of :mod:`repro.faults`.
+        self.fault_schedule = fault_schedule
+        self._pending_faults = (
+            list(fault_schedule.boundaries()) if fault_schedule is not None else []
+        )
+        self._observe_faults()
+
+    def _observe_faults(self) -> None:
+        """Log a :class:`FaultEvent` for every boundary the clock passed.
+
+        Called after each clock advance; events are stamped with the
+        boundary's onset time (which may precede the phase-end at which the
+        simulator noticed it).
+        """
+        while self._pending_faults and self._pending_faults[0].time <= self.clock:
+            b = self._pending_faults.pop(0)
+            self.log.record(
+                FaultEvent(
+                    time=b.time, kind=b.kind, phase=b.phase, description=b.description
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # compute phases
@@ -73,13 +102,20 @@ class ClusterSimulator:
         """Execute one bulk-synchronous compute phase.
 
         ``loads`` maps pid -> work units; processors not listed are idle.
-        Returns the phase duration (max over processors of work/speed).
+        Processor speeds are sampled at the phase-start clock, so injected
+        faults (external CPU load, slowdowns, dropouts) stretch exactly the
+        phases that overlap them.  Returns the phase duration (max over
+        processors of work / effective speed).
         """
+        start = self.clock
         elapsed = 0.0
         total = 0.0
+        speed_sum = 0.0
         for pid, work in loads.items():
+            proc = self.system.processor(pid)
             total += work
-            elapsed = max(elapsed, self.system.processor(pid).execution_time(work))
+            speed_sum += proc.effective_speed(start)
+            elapsed = max(elapsed, proc.execution_time(work, start))
         self.clock += elapsed
         self.compute_time += elapsed
         self.log.record(
@@ -90,8 +126,10 @@ class ClusterSimulator:
                 elapsed=elapsed,
                 max_load=max(loads.values(), default=0.0),
                 total_load=total,
+                ideal_elapsed=(total / speed_sum) if speed_sum > 0.0 else 0.0,
             )
         )
+        self._observe_faults()
         return elapsed
 
     # ------------------------------------------------------------------ #
@@ -137,6 +175,7 @@ class ClusterSimulator:
                 remote_bytes=result.remote_bytes,
             )
         )
+        self._observe_faults()
         return result
 
     # ------------------------------------------------------------------ #
@@ -175,6 +214,7 @@ class ClusterSimulator:
                 elapsed=elapsed,
             )
         )
+        self._observe_faults()
         return alpha, beta
 
     # ------------------------------------------------------------------ #
@@ -189,6 +229,7 @@ class ClusterSimulator:
         self.clock += seconds
         if as_balance:
             self.balance_overhead += seconds
+        self._observe_faults()
 
     # ------------------------------------------------------------------ #
 

@@ -28,6 +28,7 @@ __all__ = [
     "DiurnalTraffic",
     "BurstyTraffic",
     "TraceTraffic",
+    "OverlaidTraffic",
 ]
 
 #: occupancy is clamped below this so effective bandwidth never reaches zero
@@ -158,3 +159,20 @@ class TraceTraffic(TrafficModel):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TraceTraffic({len(self.times)} samples)"
+
+
+@dataclass(frozen=True)
+class OverlaidTraffic(TrafficModel):
+    """Base traffic plus an extra occupancy source, clamped.
+
+    ``extra`` is any object with an ``occupancy(time)`` method -- in
+    practice a :class:`~repro.faults.load.LoadModel` installed by a
+    :class:`~repro.faults.schedule.FaultSchedule` to model a link
+    degradation or outage window on top of the ordinary weather.
+    """
+
+    base: TrafficModel
+    extra: object
+
+    def occupancy(self, time: float) -> float:
+        return self._clamp(self.base.occupancy(time) + self.extra.occupancy(time))

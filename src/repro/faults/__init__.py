@@ -1,0 +1,68 @@
+"""Fault injection & dynamic environments (``repro.faults``).
+
+The paper's motivating observation is that shared distributed systems shift
+under the application: "the performance of [shared] resources changes with
+the external load".  This subsystem turns that from a network-only effect
+(:mod:`repro.distsys.traffic`) into a whole-environment one:
+
+* :mod:`repro.faults.load` -- deterministic external CPU-load models
+  (occupancy over time, mirroring the traffic models);
+* :mod:`repro.faults.schedule` -- :class:`FaultSchedule`: timed slowdowns,
+  dropout/rejoin windows, continuous CPU weather and link
+  degradation/outage windows, applied to a system before a run;
+* :mod:`repro.faults.resilience` -- post-run metrics: time-to-rebalance
+  after each perturbation, the imbalance trajectory, and wall-clock lost
+  to degraded capacity.
+"""
+
+from .load import (
+    MAX_CPU_OCCUPANCY,
+    BurstyLoad,
+    ComposedLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    LoadModel,
+    NoLoad,
+    TraceLoad,
+    WindowLoad,
+)
+from .schedule import (
+    CpuLoadFault,
+    DropoutFault,
+    FaultBoundary,
+    FaultSchedule,
+    LinkDegradationFault,
+    SlowdownFault,
+)
+from .resilience import (
+    ResilienceReport,
+    imbalance_trajectory,
+    lost_compute_time,
+    peak_imbalance,
+    resilience_report,
+    time_to_rebalance,
+)
+
+__all__ = [
+    "MAX_CPU_OCCUPANCY",
+    "LoadModel",
+    "NoLoad",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "BurstyLoad",
+    "WindowLoad",
+    "TraceLoad",
+    "ComposedLoad",
+    "CpuLoadFault",
+    "SlowdownFault",
+    "DropoutFault",
+    "LinkDegradationFault",
+    "FaultBoundary",
+    "FaultSchedule",
+    "ResilienceReport",
+    "imbalance_trajectory",
+    "peak_imbalance",
+    "lost_compute_time",
+    "time_to_rebalance",
+    "resilience_report",
+]

@@ -1,0 +1,209 @@
+"""External CPU-load models: the compute-side twin of ``distsys.traffic``.
+
+The paper's premise (Section 1) is that distributed systems are *shared*:
+"the performance of [shared] resources changes with the external load".
+``distsys.traffic`` models that dynamism for network links; this module
+models it for processors.  A load model maps simulation time to an
+*occupancy* in ``[0, MAX_CPU_OCCUPANCY]``: the fraction of a processor
+consumed by competing external work at that instant, leaving
+``1 - occupancy`` of its nominal speed for the application.
+
+All models are deterministic functions of time (randomness is fixed at
+construction from a seed), so paired experiment runs -- parallel DLB then
+distributed DLB, the paper's back-to-back methodology -- observe the
+identical external-load weather.
+
+This module is deliberately standalone (no ``repro.distsys`` imports) so
+:class:`~repro.distsys.processor.Processor` can carry a load model without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LoadModel",
+    "NoLoad",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "BurstyLoad",
+    "WindowLoad",
+    "TraceLoad",
+    "ComposedLoad",
+    "MAX_CPU_OCCUPANCY",
+]
+
+#: occupancy is clamped below this so effective speed never reaches zero --
+#: a "dropped out" processor is modelled as (1 - MAX_CPU_OCCUPANCY) of its
+#: nominal speed, i.e. stalled but finite
+MAX_CPU_OCCUPANCY = 0.99
+
+
+class LoadModel:
+    """Base class: external CPU occupancy as a deterministic function of time."""
+
+    def occupancy(self, time: float) -> float:
+        """Fraction of the processor consumed by external work at ``time``."""
+        raise NotImplementedError
+
+    def _clamp(self, x: float) -> float:
+        return min(MAX_CPU_OCCUPANCY, max(0.0, x))
+
+
+@dataclass(frozen=True)
+class NoLoad(LoadModel):
+    """A dedicated processor (the paper's parallel-machine case)."""
+
+    def occupancy(self, time: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadModel):
+    """Steady external load, e.g. a co-scheduled batch job."""
+
+    level: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= MAX_CPU_OCCUPANCY:
+            raise ValueError(
+                f"level must be in [0, {MAX_CPU_OCCUPANCY}], got {self.level}"
+            )
+
+    def occupancy(self, time: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class DiurnalLoad(LoadModel):
+    """Smooth sinusoidal load: interactive users coming and going.
+
+    ``occupancy(t) = mean + amplitude * sin(2*pi*(t/period) + phase)``.
+    """
+
+    mean: float = 0.3
+    amplitude: float = 0.2
+    period: float = 600.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {self.amplitude}")
+
+    def occupancy(self, time: float) -> float:
+        raw = self.mean + self.amplitude * math.sin(
+            2.0 * math.pi * time / self.period + self.phase
+        )
+        return self._clamp(raw)
+
+
+@dataclass(frozen=True)
+class BurstyLoad(LoadModel):
+    """Piecewise-constant random bursts (competing jobs arrive and finish).
+
+    Time is divided into buckets of ``bucket_seconds``; each bucket
+    independently carries a burst with probability ``burst_probability``.
+    The per-bucket draw is a Philox hash of ``(seed, bucket_index)``, so
+    occupancy is a pure function of time -- no hidden RNG state, identical
+    weather for paired runs, resumable anywhere.
+    """
+
+    seed: int = 0
+    base: float = 0.05
+    burst: float = 0.6
+    burst_probability: float = 0.25
+    bucket_seconds: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be positive, got {self.bucket_seconds}"
+            )
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError(
+                f"burst_probability must be in [0,1], got {self.burst_probability}"
+            )
+        for name in ("base", "burst"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= MAX_CPU_OCCUPANCY:
+                raise ValueError(
+                    f"{name} must be in [0, {MAX_CPU_OCCUPANCY}], got {v}"
+                )
+
+    def occupancy(self, time: float) -> float:
+        bucket = int(time // self.bucket_seconds)
+        u = np.random.Generator(
+            np.random.Philox(key=self.seed, counter=bucket)
+        ).random()
+        return self.burst if u < self.burst_probability else self.base
+
+
+@dataclass(frozen=True)
+class WindowLoad(LoadModel):
+    """A single occupancy window ``[start, end)`` -- the building block of
+    transient slowdowns and dropout/rejoin windows."""
+
+    start: float
+    end: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"window must have end > start, got [{self.start}, {self.end})"
+            )
+        if not 0.0 <= self.level <= MAX_CPU_OCCUPANCY:
+            raise ValueError(
+                f"level must be in [0, {MAX_CPU_OCCUPANCY}], got {self.level}"
+            )
+
+    def occupancy(self, time: float) -> float:
+        return self.level if self.start <= time < self.end else 0.0
+
+
+class TraceLoad(LoadModel):
+    """Step-function occupancy from a recorded trace (e.g. host monitoring).
+
+    ``times`` must be strictly increasing with ``times[0] <= 0``; each
+    occupancy holds from its sample time until the next (the last holds
+    forever).
+    """
+
+    def __init__(self, times: Sequence[float], occupancies: Sequence[float]) -> None:
+        self.times = np.asarray(times, dtype=np.float64)
+        self.occupancies = np.asarray(occupancies, dtype=np.float64)
+        if self.times.ndim != 1 or self.times.shape != self.occupancies.shape:
+            raise ValueError("times and occupancies must be 1-d and equal length")
+        if len(self.times) == 0:
+            raise ValueError("trace must have at least one sample")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if self.times[0] > 0:
+            raise ValueError("trace must start at or before t=0")
+        if np.any((self.occupancies < 0) | (self.occupancies > MAX_CPU_OCCUPANCY)):
+            raise ValueError(f"occupancies must be in [0, {MAX_CPU_OCCUPANCY}]")
+
+    def occupancy(self, time: float) -> float:
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        idx = max(0, idx)
+        return float(self.occupancies[idx])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceLoad({len(self.times)} samples)"
+
+
+@dataclass(frozen=True)
+class ComposedLoad(LoadModel):
+    """Sum of component loads, clamped -- several external stressors at once."""
+
+    parts: Tuple[LoadModel, ...] = ()
+
+    def occupancy(self, time: float) -> float:
+        return self._clamp(sum(p.occupancy(time) for p in self.parts))

@@ -1,0 +1,129 @@
+"""Resilience metrics: how a run rode out its environment perturbations.
+
+Everything here is computed from the :class:`~repro.distsys.events.EventLog`
+of a finished run -- the same log the figures and timelines already use --
+so resilience is measurable for *any* scheme with no extra instrumentation:
+
+* **imbalance trajectory** -- per compute phase, the ratio of the phase's
+  wall-clock to its ideal (perfectly balanced, fault-adjusted) duration.
+  1.0 means every processor finished together; a 4x-slowed group that kept
+  its full share of work shows up as a spike toward 4.
+* **time to rebalance** -- for each fault onset, the delay until the first
+  subsequent global redistribution.  The distributed scheme's headline
+  resilience number; ``None`` means the scheme never reacted.
+* **lost time** -- wall-clock spent waiting on stragglers: the integral of
+  ``elapsed - ideal_elapsed`` over compute phases.  This is the work-lost-
+  to-degraded-capacity measure: what a perfectly adapting scheme could
+  have recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..distsys.events import ComputeEvent, EventLog, FaultEvent, RedistributionEvent
+
+__all__ = [
+    "ResilienceReport",
+    "imbalance_trajectory",
+    "peak_imbalance",
+    "lost_compute_time",
+    "time_to_rebalance",
+    "resilience_report",
+]
+
+
+def imbalance_trajectory(log: EventLog) -> List[Tuple[float, float]]:
+    """``(time, elapsed/ideal)`` per compute phase, in time order.
+
+    Phases with no recorded ideal duration (idle phases, or logs written
+    before the fault subsystem existed) are skipped.
+    """
+    out = []
+    for e in log.of_type(ComputeEvent):
+        if e.ideal_elapsed > 0.0:
+            out.append((e.time, e.elapsed / e.ideal_elapsed))
+    return out
+
+
+def peak_imbalance(log: EventLog) -> float:
+    """Worst compute-phase imbalance of the run (1.0 = always perfect)."""
+    traj = imbalance_trajectory(log)
+    return max((r for _, r in traj), default=1.0)
+
+
+def lost_compute_time(log: EventLog) -> float:
+    """Wall-clock seconds spent waiting on stragglers across all compute
+    phases -- work lost to imbalance and degraded capacity."""
+    total = 0.0
+    for e in log.of_type(ComputeEvent):
+        if e.ideal_elapsed > 0.0:
+            total += max(0.0, e.elapsed - e.ideal_elapsed)
+    return total
+
+
+def time_to_rebalance(log: EventLog) -> Dict[float, Optional[float]]:
+    """Fault-onset time -> seconds until the first later redistribution.
+
+    Only ``start`` boundaries count as onsets (a fault *ending* also shifts
+    the environment, but "recovered from the fault" is the interesting
+    latency).  ``None`` when no redistribution followed.
+    """
+    redists = sorted(e.time for e in log.of_type(RedistributionEvent))
+    out: Dict[float, Optional[float]] = {}
+    for f in log.of_type(FaultEvent):
+        if f.phase != "start":
+            continue
+        after = [t for t in redists if t >= f.time]
+        out[f.time] = (after[0] - f.time) if after else None
+    return out
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Summary resilience metrics of one run."""
+
+    fault_onsets: int
+    rebalances: int
+    #: onset time -> reaction latency (None = never reacted)
+    reaction: Dict[float, Optional[float]] = field(default_factory=dict)
+    peak_imbalance: float = 1.0
+    lost_time: float = 0.0
+    total_time: float = 0.0
+
+    @property
+    def mean_time_to_rebalance(self) -> Optional[float]:
+        """Mean reaction latency over the onsets the scheme reacted to."""
+        vals = [v for v in self.reaction.values() if v is not None]
+        return sum(vals) / len(vals) if vals else None
+
+    @property
+    def lost_fraction(self) -> float:
+        """Share of total wall-clock lost to stragglers."""
+        return self.lost_time / self.total_time if self.total_time > 0 else 0.0
+
+    def summary(self) -> str:
+        ttr = self.mean_time_to_rebalance
+        return (
+            f"faults {self.fault_onsets}, rebalances {self.rebalances}, "
+            f"mean time-to-rebalance "
+            f"{'n/a' if ttr is None else f'{ttr:.3f}s'}, "
+            f"peak imbalance {self.peak_imbalance:.2f}x, "
+            f"lost {self.lost_time:.3f}s ({self.lost_fraction:.1%})"
+        )
+
+
+def resilience_report(log: EventLog) -> ResilienceReport:
+    """Condense a run's event log into a :class:`ResilienceReport`."""
+    onsets = [e for e in log.of_type(FaultEvent) if e.phase == "start"]
+    events = list(log)
+    total = max((e.time for e in events), default=0.0)
+    return ResilienceReport(
+        fault_onsets=len(onsets),
+        rebalances=len(log.of_type(RedistributionEvent)),
+        reaction=time_to_rebalance(log),
+        peak_imbalance=peak_imbalance(log),
+        lost_time=lost_compute_time(log),
+        total_time=total,
+    )

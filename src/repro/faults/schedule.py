@@ -1,0 +1,335 @@
+"""Deterministic fault schedules: timed environment perturbations for a run.
+
+A :class:`FaultSchedule` is a declarative list of perturbations -- external
+CPU load on processors, transient slowdowns, dropout/rejoin windows, link
+degradation/outage windows -- that is *applied* to a
+:class:`~repro.distsys.system.DistributedSystem` before the run starts.
+Applying a schedule returns a new system whose processors carry composed
+:class:`~repro.faults.load.LoadModel`\\ s and whose inter-group links carry
+overlaid background traffic; from then on every quantity the simulator and
+the DLB schemes observe (execution times, probed alpha/beta, measured
+weights) is a pure deterministic function of the simulation clock.
+
+Determinism is the point: the paper's methodology runs the parallel scheme
+and the distributed scheme back to back "so that the two executions would
+have the similar network environments" -- with a schedule, both executions
+see the *identical* environment, faults included, and repeated runs with
+the same seed reproduce bit-identical timelines.
+
+Imports from ``repro.distsys`` are deferred to call time so the dependency
+arrow at module-import time points one way only (``distsys.processor`` ->
+``faults.load``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .load import MAX_CPU_OCCUPANCY, ComposedLoad, LoadModel, NoLoad, WindowLoad
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..distsys.processor import Processor
+    from ..distsys.system import DistributedSystem
+
+__all__ = [
+    "CpuLoadFault",
+    "SlowdownFault",
+    "DropoutFault",
+    "LinkDegradationFault",
+    "FaultBoundary",
+    "FaultSchedule",
+]
+
+#: residual availability of a "dropped out" processor (stalled, not gone --
+#: the simulated analogue of a node swapping or rebooting under the job)
+DROPOUT_RESIDUAL = 1.0 - MAX_CPU_OCCUPANCY
+
+
+def _targets_label(pids: Optional[Tuple[int, ...]], group: Optional[int]) -> str:
+    if pids is not None:
+        return "pids " + ",".join(str(p) for p in pids)
+    if group is not None:
+        return f"group {group}"
+    return "all processors"
+
+
+@dataclass(frozen=True, kw_only=True)
+class _ProcessorFault:
+    """Shared targeting logic: a fault hits explicit ``pids``, or every
+    processor of ``group``, or (both ``None``) every processor."""
+
+    pids: Optional[Tuple[int, ...]] = None
+    group: Optional[int] = None
+
+    kind = "processor-fault"
+
+    def __post_init__(self) -> None:
+        if self.pids is not None and self.group is not None:
+            raise ValueError("give pids or group, not both")
+        if self.pids is not None:
+            object.__setattr__(self, "pids", tuple(int(p) for p in self.pids))
+
+    def matches(self, proc: "Processor") -> bool:
+        if self.pids is not None:
+            return proc.pid in self.pids
+        if self.group is not None:
+            return proc.group_id == self.group
+        return True
+
+    def load_model(self, seed: int, pid: int) -> LoadModel:
+        raise NotImplementedError
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        """``(start, end)`` for windowed faults, ``None`` for continuous ones."""
+        return None
+
+    def describe(self) -> str:
+        return f"{self.kind} on {_targets_label(self.pids, self.group)}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class CpuLoadFault(_ProcessorFault):
+    """Continuous external CPU load on the targeted processors.
+
+    ``model`` is any :class:`~repro.faults.load.LoadModel`; the schedule
+    seed does not alter it (the model carries its own seed if stochastic).
+    """
+
+    model: LoadModel = field(default_factory=NoLoad)
+
+    kind = "cpu-load"
+
+    def load_model(self, seed: int, pid: int) -> LoadModel:
+        return self.model
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} {type(self.model).__name__} on "
+            f"{_targets_label(self.pids, self.group)}"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class SlowdownFault(_ProcessorFault):
+    """Transient slowdown: targeted processors run ``factor`` times slower
+    during ``[start, end)`` -- e.g. thermal throttling or a co-scheduled job."""
+
+    start: float = 0.0
+    end: float = math.inf
+    factor: float = 4.0
+
+    kind = "slowdown"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 1.0:
+            raise ValueError(f"factor must be > 1, got {self.factor}")
+        if self.end <= self.start:
+            raise ValueError(f"need end > start, got [{self.start}, {self.end})")
+
+    def load_model(self, seed: int, pid: int) -> LoadModel:
+        # running `factor` times slower == (1 - 1/factor) of the CPU stolen
+        return WindowLoad(self.start, self.end,
+                          min(MAX_CPU_OCCUPANCY, 1.0 - 1.0 / self.factor))
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.end)
+
+    def describe(self) -> str:
+        return (
+            f"{self.factor:g}x slowdown of {_targets_label(self.pids, self.group)}"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class DropoutFault(_ProcessorFault):
+    """Dropout/rejoin window: targeted processors are effectively gone
+    during ``[start, end)`` (stalled at :data:`DROPOUT_RESIDUAL` of nominal
+    speed) and recover at ``end``."""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    kind = "dropout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.end <= self.start:
+            raise ValueError(f"need end > start, got [{self.start}, {self.end})")
+
+    def load_model(self, seed: int, pid: int) -> LoadModel:
+        return WindowLoad(self.start, self.end, MAX_CPU_OCCUPANCY)
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.end)
+
+    def describe(self) -> str:
+        return f"dropout of {_targets_label(self.pids, self.group)}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class LinkDegradationFault:
+    """Extra occupancy on inter-group links during ``[start, end)``.
+
+    ``occupancy`` near the link clamp (0.95) is an outage; smaller values
+    model a routing detour or a competing bulk transfer.  ``groups`` names
+    one group pair, or ``None`` for every inter-group link.
+    """
+
+    start: float = 0.0
+    end: float = math.inf
+    occupancy: float = 0.5
+    groups: Optional[Tuple[int, int]] = None
+
+    kind = "link"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"need end > start, got [{self.start}, {self.end})")
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ValueError(f"occupancy must be in (0, 1], got {self.occupancy}")
+        if self.groups is not None:
+            a, b = self.groups
+            if a == b:
+                raise ValueError("groups must name two distinct groups")
+            object.__setattr__(self, "groups", (int(a), int(b)))
+
+    def matches_pair(self, pair: FrozenSet[int]) -> bool:
+        return self.groups is None or frozenset(self.groups) == pair
+
+    def overlay_model(self) -> LoadModel:
+        # the Link clamps total occupancy to its own MAX_OCCUPANCY; the
+        # WindowLoad clamp (0.99) is looser, so no information is lost here
+        return WindowLoad(self.start, self.end,
+                          min(MAX_CPU_OCCUPANCY, self.occupancy))
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.end)
+
+    def describe(self) -> str:
+        where = (
+            f"link {self.groups[0]}<->{self.groups[1]}"
+            if self.groups is not None
+            else "all inter-group links"
+        )
+        return f"{self.occupancy:.0%} degradation of {where}"
+
+
+@dataclass(frozen=True)
+class FaultBoundary:
+    """One instant the environment shifts: a fault window opening/closing."""
+
+    time: float
+    phase: str  # "start" | "end"
+    kind: str
+    description: str
+
+
+class FaultSchedule:
+    """An ordered, deterministic set of environment perturbations.
+
+    Parameters
+    ----------
+    faults:
+        Any mix of :class:`CpuLoadFault`, :class:`SlowdownFault`,
+        :class:`DropoutFault` and :class:`LinkDegradationFault`.
+    seed:
+        Schedule-level seed, reserved for stochastic scenario builders
+        (e.g. the harness's bursty CPU-weather scenario derives per-group
+        model seeds from it).  Stored so a schedule prints reproducibly.
+    """
+
+    def __init__(self, faults: Sequence[object] = (), seed: int = 0) -> None:
+        self.faults: List[object] = list(faults)
+        self.seed = int(seed)
+        for f in self.faults:
+            if not isinstance(
+                f, (CpuLoadFault, SlowdownFault, DropoutFault, LinkDegradationFault)
+            ):
+                raise TypeError(f"not a fault spec: {f!r}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processor_faults(self) -> List[_ProcessorFault]:
+        return [f for f in self.faults if isinstance(f, _ProcessorFault)]
+
+    @property
+    def link_faults(self) -> List[LinkDegradationFault]:
+        return [f for f in self.faults if isinstance(f, LinkDegradationFault)]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "; ".join(f.describe() for f in self.faults)
+        return f"FaultSchedule(seed={self.seed}, [{inner}])"
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+
+    def apply(self, system: "DistributedSystem") -> "DistributedSystem":
+        """Return a new system with this schedule's perturbations installed.
+
+        Processors targeted by CPU faults get a :class:`ComposedLoad` of
+        every matching model (on top of any load the processor already
+        carried); inter-group links targeted by link faults get their
+        traffic model overlaid with the fault occupancy.  The input system
+        is not modified.
+        """
+        from ..distsys.group import Group
+        from ..distsys.system import DistributedSystem
+        from ..distsys.traffic import OverlaidTraffic
+
+        pfaults = self.processor_faults
+        new_groups = []
+        for g in system.groups:
+            procs = []
+            for p in g.processors:
+                models = [f.load_model(self.seed, p.pid) for f in pfaults if f.matches(p)]
+                if models:
+                    if not isinstance(p.load, NoLoad):
+                        models.insert(0, p.load)
+                    p = replace(p, load=ComposedLoad(tuple(models)))
+                procs.append(p)
+            new_groups.append(Group(g.group_id, g.name, procs, intra_link=g.intra_link))
+
+        new_links = {}
+        lfaults = self.link_faults
+        for pair, link in system.inter_links.items():
+            overlays = [f.overlay_model() for f in lfaults if f.matches_pair(pair)]
+            if overlays:
+                link = replace(
+                    link,
+                    traffic=OverlaidTraffic(link.traffic, ComposedLoad(tuple(overlays))),
+                )
+            new_links[pair] = link
+        return DistributedSystem(new_groups, new_links)
+
+    # ------------------------------------------------------------------ #
+    # timeline
+    # ------------------------------------------------------------------ #
+
+    def boundaries(self) -> List[FaultBoundary]:
+        """Every instant the environment shifts, sorted by time.
+
+        Windowed faults contribute a ``start`` and (if finite) an ``end``
+        boundary; continuous faults (:class:`CpuLoadFault`) contribute a
+        single ``start`` at t=0 marking that the weather is on.
+        """
+        out: List[FaultBoundary] = []
+        for f in self.faults:
+            win = f.window()
+            desc = f.describe()
+            if win is None:
+                out.append(FaultBoundary(0.0, "start", f.kind, desc))
+                continue
+            start, end = win
+            out.append(FaultBoundary(start, "start", f.kind, desc))
+            if math.isfinite(end):
+                out.append(FaultBoundary(end, "end", f.kind, desc))
+        out.sort(key=lambda b: (b.time, b.phase, b.kind))
+        return out

@@ -3,6 +3,7 @@
 from .experiment import (
     ExperimentConfig,
     make_app,
+    make_faults,
     make_scheme,
     make_system,
     make_traffic,
@@ -24,11 +25,20 @@ from .persist import load_run, load_sweep, save_run, save_sweep
 from .replication import ReplicatedResult, replicate
 from .report import comparison_block, format_percent, format_table
 from .timeline import render_event_listing, render_step_timeline, step_timeline
-from .sweep import PAPER_CONFIGS, PairedResult, SweepResult, run_paired, run_sweep
+from .sweep import (
+    FAULT_SWEEP_SCENARIOS,
+    PAPER_CONFIGS,
+    PairedResult,
+    SweepResult,
+    run_fault_scenarios,
+    run_paired,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
     "make_app",
+    "make_faults",
     "make_scheme",
     "make_system",
     "make_traffic",
@@ -59,8 +69,10 @@ __all__ = [
     "format_percent",
     "format_table",
     "PAPER_CONFIGS",
+    "FAULT_SWEEP_SCENARIOS",
     "PairedResult",
     "SweepResult",
     "run_paired",
     "run_sweep",
+    "run_fault_scenarios",
 ]

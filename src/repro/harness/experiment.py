@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..amr.applications import AMR64, AMRApplication, BlastWave, ShockPool3D
-from ..config import SchemeParams, SimParams
+from ..config import FaultParams, SchemeParams, SimParams
 from ..core import DistributedDLB, ParallelDLB, StaticDLB
 from ..core.base import DLBScheme
 from ..distsys import (
@@ -28,11 +28,19 @@ from ..distsys import (
     parallel_system,
     wan_system,
 )
+from ..faults import (
+    BurstyLoad,
+    CpuLoadFault,
+    DropoutFault,
+    FaultSchedule,
+    LinkDegradationFault,
+    SlowdownFault,
+)
 from ..metrics.timing import RunResult
 from ..runtime import SAMRRunner
 
 __all__ = ["ExperimentConfig", "make_app", "make_system", "make_traffic",
-           "make_scheme", "run_experiment", "run_sequential"]
+           "make_scheme", "make_faults", "run_experiment", "run_sequential"]
 
 #: calibrated so a mid-size run sits in the paper's regime: on the WAN
 #: system, communication is a large minority of the parallel-DLB runtime
@@ -61,6 +69,8 @@ class ExperimentConfig:
     gamma: float = 2.0
     scheme_params: Optional[SchemeParams] = None
     sim_params: SimParams = field(default_factory=SimParams)
+    #: optional fault scenario; both schemes of a paired run see the same one
+    fault: Optional[FaultParams] = None
 
     def __post_init__(self) -> None:
         if self.app_name not in ("shockpool3d", "amr64", "blastwave"):
@@ -124,6 +134,74 @@ def make_system(cfg: ExperimentConfig) -> DistributedSystem:
     return lan_system(cfg.procs_per_group, traffic, base_speed=cfg.base_speed)
 
 
+def make_faults(cfg: ExperimentConfig) -> Optional[FaultSchedule]:
+    """Expand the config's :class:`FaultParams` into a fault schedule.
+
+    Returns ``None`` for no faults.  Scenario vocabulary (``fp`` is the
+    params; occupancy-style scenarios use ``fp.stolen_share = 1 - 1/severity``
+    so one severity knob means "this resource is ``severity`` times slower"
+    everywhere):
+
+    ``"slowdown"``
+        Group ``fp.group`` runs ``fp.severity`` times slower during the
+        window -- the canonical "someone started a big job on site B" case.
+    ``"dropout"``
+        Group ``fp.group`` is effectively gone during the window and
+        rejoins at its end.
+    ``"cpu-load"``
+        Continuous bursty external CPU load on group ``fp.group``, seeded
+        by ``fp.seed`` -- non-dedicated-cluster weather rather than a
+        discrete incident.
+    ``"link-degraded"``
+        Every inter-group link loses ``fp.stolen_share`` of its bandwidth
+        during the window (near 1: an outage).
+    ``"mixed"``
+        The slowdown window plus a half-bandwidth link window plus mild
+        bursty CPU weather on processor 0 -- the everything-goes-wrong case.
+    """
+    fp = cfg.fault
+    if fp is None or fp.scenario == "none":
+        return None
+    if fp.scenario == "slowdown":
+        faults = [
+            SlowdownFault(group=fp.group, start=fp.start, end=fp.end,
+                          factor=fp.severity),
+        ]
+    elif fp.scenario == "dropout":
+        faults = [DropoutFault(group=fp.group, start=fp.start, end=fp.end)]
+    elif fp.scenario == "cpu-load":
+        faults = [
+            CpuLoadFault(
+                group=fp.group,
+                model=BurstyLoad(
+                    seed=fp.seed,
+                    base=fp.stolen_share * 0.25,
+                    burst=fp.stolen_share,
+                    bucket_seconds=5.0,
+                ),
+            ),
+        ]
+    elif fp.scenario == "link-degraded":
+        faults = [
+            LinkDegradationFault(start=fp.start, end=fp.end,
+                                 occupancy=fp.stolen_share),
+        ]
+    elif fp.scenario == "mixed":
+        faults = [
+            SlowdownFault(group=fp.group, start=fp.start, end=fp.end,
+                          factor=fp.severity),
+            LinkDegradationFault(start=fp.start, end=fp.end, occupancy=0.5),
+            CpuLoadFault(
+                pids=(0,),
+                model=BurstyLoad(seed=fp.seed, base=0.05, burst=0.4,
+                                 bucket_seconds=5.0),
+            ),
+        ]
+    else:  # pragma: no cover - FaultParams validates the vocabulary
+        raise ValueError(f"unknown fault scenario {fp.scenario!r}")
+    return FaultSchedule(faults, seed=fp.seed)
+
+
 def make_scheme(scheme_name: str) -> DLBScheme:
     """Scheme instance by name: ``"parallel"``, ``"distributed"`` or
     ``"static"`` (the no-DLB control)."""
@@ -144,6 +222,7 @@ def run_experiment(cfg: ExperimentConfig, scheme_name: str) -> RunResult:
         make_scheme(scheme_name),
         sim_params=cfg.sim_params,
         scheme_params=cfg.effective_scheme_params(),
+        fault_schedule=make_faults(cfg),
     )
     return runner.run(cfg.steps)
 

@@ -13,6 +13,7 @@ from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..config import FaultParams
 from ..distsys.events import EventLog
 from ..metrics.timing import RunResult
 from .sweep import PairedResult, SweepResult
@@ -49,6 +50,7 @@ def run_result_to_dict(result: RunResult) -> Dict:
         "final_cells": result.final_cells,
         "redistributions": result.redistributions,
         "decisions": result.decisions,
+        "faults": result.faults,
     }
     if result.events is not None:
         counts: Dict[str, int] = {}
@@ -70,6 +72,8 @@ def run_result_from_dict(data: Dict) -> RunResult:
             "final_grids", "final_cells", "redistributions", "decisions",
         )
     }
+    # added after format version 1 files were first written; default for old files
+    fields["faults"] = data.get("faults", 0)
     return RunResult(events=None, **fields)
 
 
@@ -101,6 +105,11 @@ def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> None:
                     "traffic_kind": p.config.traffic_kind,
                     "traffic_level": p.config.traffic_level,
                     "gamma": p.config.gamma,
+                    "fault": (
+                        asdict(p.config.fault)
+                        if p.config.fault is not None
+                        else None
+                    ),
                 },
                 "parallel": run_result_to_dict(p.parallel),
                 "distributed": run_result_to_dict(p.distributed),
@@ -123,7 +132,11 @@ def load_sweep(path: Union[str, Path]) -> SweepResult:
     _check(payload, "sweep")
     pairs: List[PairedResult] = []
     for p in payload["pairs"]:
-        cfg = ExperimentConfig(**p["config"])
+        cfg_fields = dict(p["config"])
+        fault = cfg_fields.pop("fault", None)  # absent in pre-fault files
+        if fault is not None:
+            cfg_fields["fault"] = FaultParams(**fault)
+        cfg = ExperimentConfig(**cfg_fields)
         pairs.append(
             PairedResult(
                 config=cfg,

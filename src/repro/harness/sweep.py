@@ -11,15 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from ..config import FaultParams
 from ..metrics.efficiency import efficiency
 from ..metrics.timing import RunResult
 from .experiment import ExperimentConfig, run_experiment, run_sequential
 
 __all__ = ["PairedResult", "SweepResult", "run_paired", "run_sweep",
-           "PAPER_CONFIGS"]
+           "run_fault_scenarios", "PAPER_CONFIGS", "FAULT_SWEEP_SCENARIOS"]
 
 #: the paper's processor configurations (procs per group)
 PAPER_CONFIGS = (1, 2, 4, 6, 8)
+
+#: the fault scenarios the resilience sweep runs ("none" is the control)
+FAULT_SWEEP_SCENARIOS = ("none", "slowdown", "dropout", "cpu-load",
+                         "link-degraded", "mixed")
 
 
 @dataclass
@@ -100,3 +105,23 @@ def run_sweep(
         pair.sequential = seq
         pairs.append(pair)
     return SweepResult(pairs=pairs)
+
+
+def run_fault_scenarios(
+    base: ExperimentConfig,
+    scenarios: Sequence[str] = FAULT_SWEEP_SCENARIOS,
+) -> Dict[str, PairedResult]:
+    """Paired runs of one configuration across fault scenarios.
+
+    Every scenario reuses the window/severity/seed of ``base.fault`` (or
+    the :class:`FaultParams` defaults when the base has none), varying only
+    the scenario kind -- so the sweep isolates *what kind* of perturbation
+    hits, with everything else pinned.  ``"none"`` rows run fault-free and
+    serve as the control.
+    """
+    template = base.fault if base.fault is not None else FaultParams()
+    out: Dict[str, PairedResult] = {}
+    for scenario in scenarios:
+        fault = None if scenario == "none" else replace(template, scenario=scenario)
+        out[scenario] = run_paired(replace(base, fault=fault))
+    return out

@@ -43,6 +43,8 @@ class RunResult:
     final_cells: int = 0
     redistributions: int = 0
     decisions: int = 0
+    #: fault-window boundaries observed during the run (0 when no schedule)
+    faults: int = 0
     events: Optional[EventLog] = None
 
     @property
@@ -75,4 +77,6 @@ class RunResult:
             f"  steps {self.nsteps}, final grids {self.final_grids},"
             f" redistributions {self.redistributions}",
         ]
+        if self.faults:
+            lines.append(f"  fault boundaries observed: {self.faults}")
         return "\n".join(lines)

@@ -13,7 +13,7 @@ degenerates to an even split) and across any number of groups.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..distsys.system import DistributedSystem
 
@@ -37,19 +37,36 @@ def proportional_shares(total: float, capacities: Sequence[float]) -> List[float
     return [total * c / s for c in caps]
 
 
-def group_targets(system: DistributedSystem, total: float) -> Dict[int, float]:
-    """Target workload per group: ``W * n_g*p_g / sum(n*p)``."""
-    shares = proportional_shares(total, [g.capacity for g in system.groups])
+def group_targets(
+    system: DistributedSystem, total: float, time: Optional[float] = None
+) -> Dict[int, float]:
+    """Target workload per group: ``W * n_g*p_g / sum(n*p)``.
+
+    With ``time`` given, capacities are the *effective* ones at that
+    instant (external CPU load discounted) -- the weight-re-measuring
+    global phase passes its balance-point clock here so a slowed or
+    dropped-out group is assigned proportionally less work.
+    """
+    caps = [
+        g.capacity if time is None else g.capacity_at(time) for g in system.groups
+    ]
+    shares = proportional_shares(total, caps)
     return {g.group_id: share for g, share in zip(system.groups, shares)}
 
 
-def processor_targets(system: DistributedSystem, total: float) -> Dict[int, float]:
+def processor_targets(
+    system: DistributedSystem, total: float, time: Optional[float] = None
+) -> Dict[int, float]:
     """Target workload per processor, proportional to its weight.
 
     Used by the group-oblivious parallel DLB baseline (all processors) and
     by the local phase (restricted to one group's processors and that
-    group's share of the workload).
+    group's share of the workload).  ``time`` switches to effective
+    (fault-adjusted) weights, as for :func:`group_targets`.
     """
     procs = system.processors
-    shares = proportional_shares(total, [p.weight for p in procs])
+    weights = [
+        p.weight if time is None else p.weight * p.availability(time) for p in procs
+    ]
+    shares = proportional_shares(total, weights)
     return {p.pid: share for p, share in zip(procs, shares)}

@@ -21,9 +21,10 @@ from ..config import SchemeParams, SimParams
 from ..core.base import BalanceContext, DLBScheme
 from ..core.gain import WorkloadHistory
 from ..distsys.comm import Message, MessageKind
-from ..distsys.events import EventLog, RedistributionEvent, RegridEvent
+from ..distsys.events import EventLog, FaultEvent, RedistributionEvent, RegridEvent
 from ..distsys.simulator import ClusterSimulator
 from ..distsys.system import DistributedSystem
+from ..faults.schedule import FaultSchedule
 from ..metrics.timing import RunResult
 from ..partition.mapping import GridAssignment
 
@@ -109,6 +110,12 @@ class SAMRRunner(IntegratorHooks):
         Level-0 time step.
     sim_params / scheme_params / regrid_params:
         Knobs; see the respective dataclasses.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule`.  When given, it is
+        applied to ``system`` before anything else (installing external CPU
+        load models and link overlays) and handed to the simulator so fault
+        window boundaries show up in the event log as
+        :class:`~repro.distsys.events.FaultEvent` records.
     """
 
     def __init__(
@@ -122,10 +129,14 @@ class SAMRRunner(IntegratorHooks):
         scheme_params: Optional[SchemeParams] = None,
         regrid_params: Optional[RegridParams] = None,
         log: Optional[EventLog] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
+        if fault_schedule is not None:
+            system = fault_schedule.apply(system)
         self.app = app
         self.system = system
         self.scheme = scheme
+        self.fault_schedule = fault_schedule
         self.sim_params = sim_params or SimParams()
         self.scheme_params = scheme_params or SchemeParams()
         self.regrid_params = regrid_params or RegridParams()
@@ -139,13 +150,13 @@ class SAMRRunner(IntegratorHooks):
             root_blocks(app.domain, blocks_per_axis),
             work_per_cell=app.work_per_cell(0),
         )
-        self.sim = ClusterSimulator(system, log)
-        self.assignment = GridAssignment(self.hierarchy, system)
+        self.sim = ClusterSimulator(self.system, log, fault_schedule=fault_schedule)
+        self.assignment = GridAssignment(self.hierarchy, self.system)
         self.history = WorkloadHistory()
         self.ctx = BalanceContext(
             hierarchy=self.hierarchy,
             assignment=self.assignment,
-            system=system,
+            system=self.system,
             sim=self.sim,
             sim_params=self.sim_params,
             scheme_params=self.scheme_params,
@@ -269,7 +280,7 @@ class SAMRRunner(IntegratorHooks):
         return RunResult(
             scheme=self.scheme.name,
             app=self.app.name,
-            system=f"{self.system.ngroups}x{self.system.groups[0].nprocs}procs",
+            system="+".join(str(g.nprocs) for g in self.system.groups) + "procs",
             nsteps=self.integrator.coarse_steps_done,
             total_time=self.sim.clock,
             compute_time=self.sim.compute_time,
@@ -284,5 +295,6 @@ class SAMRRunner(IntegratorHooks):
             final_cells=self.hierarchy.total_cells(),
             redistributions=len(self.sim.log.of_type(RedistributionEvent)),
             decisions=len(getattr(self.scheme, "decisions", [])),
+            faults=len(self.sim.log.of_type(FaultEvent)),
             events=self.sim.log,
         )

@@ -49,6 +49,33 @@ class TestRootBlocks:
         for d in range(3):
             assert 16 % counts[d] == 0
 
+    def test_default_blocks_non_power_of_two_domain(self):
+        """12 halves only twice (12 -> 6 -> 3 cells); counts stop at 4."""
+        domain = Box.cube(0, 12, 2)
+        counts = default_blocks_per_axis(domain, nprocs=8, min_per_proc=4)
+        for d in range(2):
+            assert 12 % counts[d] == 0
+            assert counts[d] <= 4
+        # the tiling it chose must actually be constructible
+        assert len(root_blocks(domain, counts)) == counts[0] * counts[1]
+
+    def test_default_blocks_nprocs_exceeding_tiling(self):
+        """A tiny domain cannot give 64 processors 4 blocks each; the
+        doubling must stop at the divisibility/min-edge limit, not loop."""
+        domain = Box.cube(0, 4, 1)
+        counts = default_blocks_per_axis(domain, nprocs=64, min_per_proc=4)
+        assert counts == (2,)  # 4 cells: one halving, then edges hit 1
+
+    def test_default_blocks_one_cell_axis(self):
+        """A 1-cell axis can never split; all granularity must come from
+        the other axes."""
+        domain = Box((0, 0), (16, 1))
+        counts = default_blocks_per_axis(domain, nprocs=2, min_per_proc=4)
+        assert counts[1] == 1
+        assert counts[0] >= 2
+        assert 16 % counts[0] == 0
+        assert len(root_blocks(domain, counts)) == counts[0]
+
 
 def small_runner(scheme, nprocs_per_group=2, steps=0, **kw):
     app = ShockPool3D(domain_cells=16, max_levels=3)
@@ -142,6 +169,16 @@ class TestRunnerCommAttribution:
         assert result.total_time == pytest.approx(
             result.compute_time + result.balance_overhead, rel=1e-6
         ) or result.total_time >= result.compute_time
+
+    def test_system_label_reports_per_group_sizes(self):
+        """Asymmetric federations must not be mislabelled with the first
+        group's size (the old ``NxM`` format said "3x1procs" here)."""
+        from repro.distsys import multi_site_system
+
+        app = ShockPool3D(domain_cells=16, max_levels=2)
+        system = multi_site_system([1, 2, 1], ConstantTraffic(0.1), base_speed=2e4)
+        runner = SAMRRunner(app, system, DistributedDLB())
+        assert runner.result().system == "1+2+1procs"
 
     def test_ghost_cache_consistent_after_redistribution(self):
         """A carve changes level-0 grids; the sibling cache must follow."""
