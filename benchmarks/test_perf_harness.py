@@ -1,0 +1,113 @@
+"""Harness wall-clock benchmark: serial vs parallel vs warm-cache sweeps.
+
+Unlike the figure benches (which care about the *simulated* results), this
+one measures the harness itself: how long the same multi-configuration
+sweep takes executed serially in-process, fanned out over a process pool
+(``jobs >= 4``), and served from a warm content-addressed result cache.
+All three must be bit-identical -- every run is deterministic -- so the
+only thing that may differ is the wall-clock.
+
+The numbers land in ``BENCH_harness.json`` at the repo root, seeding the
+perf trajectory for future PRs.  On a single-core box the pool cannot beat
+serial (the sweep is pure CPU work); the cache still must -- the acceptance
+bar is >= 2x for the best jobs>=4 path, which the warm cache clears by
+orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+from repro.harness import ExperimentConfig, run_sweep
+from repro.harness.persist import run_result_to_dict
+from repro.harness.report import format_table
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_harness.json"
+
+#: the sweep under test: 3 configurations x 2 schemes = 6 independent runs
+BASE = ExperimentConfig(app_name="shockpool3d", network="wan", steps=3)
+CONFIGS = (1, 2, 4)
+JOBS = 4
+
+
+def _comparable(sweep):
+    out = []
+    for p in sweep.pairs:
+        for r in (p.parallel, p.distributed):
+            d = run_result_to_dict(r)
+            d.pop("event_counts", None)
+            out.append(d)
+    return out
+
+
+def _timed(executor):
+    t0 = time.perf_counter()
+    sweep = run_sweep(BASE, CONFIGS, executor=executor)
+    return sweep, time.perf_counter() - t0
+
+
+def _scenario(tmp_dir: Path):
+    serial_sweep, serial_s = _timed(SerialExecutor())
+    parallel_sweep, parallel_s = _timed(ParallelExecutor(jobs=JOBS))
+
+    cache = ResultCache(tmp_dir)
+    _timed(SerialExecutor(cache=cache))  # populate
+    warm_ex = ParallelExecutor(jobs=JOBS, cache=cache)
+    warm_sweep, warm_s = _timed(warm_ex)
+
+    reference = _comparable(serial_sweep)
+    identical = (
+        reference == _comparable(parallel_sweep)
+        and reference == _comparable(warm_sweep)
+        and warm_ex.last_stats.cache_hits == 2 * len(CONFIGS)
+    )
+    return {
+        "benchmark": "harness-executor",
+        "sweep": {
+            "app": BASE.app_name,
+            "network": BASE.network,
+            "steps": BASE.steps,
+            "configs": list(CONFIGS),
+            "runs": 2 * len(CONFIGS),
+        },
+        "cpu_count": os.cpu_count(),
+        "jobs": JOBS,
+        "serial_seconds": serial_s,
+        "parallel_cold_seconds": parallel_s,
+        "warm_cache_seconds": warm_s,
+        "speedup_parallel_cold": serial_s / parallel_s,
+        "speedup_warm_cache": serial_s / warm_s,
+        # the headline number: best jobs>=4 execution path vs cold serial
+        "speedup": serial_s / min(parallel_s, warm_s),
+        "identical_results": identical,
+    }
+
+
+def test_harness_executor_speedup(once, benchmark, tmp_path):
+    record = once(benchmark, _scenario, tmp_path)
+
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ("serial (jobs=1)", record["serial_seconds"], 1.0),
+        ("process pool (cold)", record["parallel_cold_seconds"],
+         record["speedup_parallel_cold"]),
+        ("warm cache", record["warm_cache_seconds"],
+         record["speedup_warm_cache"]),
+    ]
+    print()
+    print(format_table(
+        ["execution path", "wall-clock [s]", "speedup vs serial"], rows,
+        title=f"{record['sweep']['runs']}-run sweep, jobs={record['jobs']}, "
+              f"{record['cpu_count']} CPU(s) -> {BENCH_PATH.name}",
+    ))
+
+    assert record["identical_results"], "executor paths disagree on results"
+    assert record["speedup"] >= 2.0, (
+        f"expected >= 2x on the best jobs>={record['jobs']} path, got "
+        f"{record['speedup']:.2f}x"
+    )

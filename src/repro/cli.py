@@ -7,15 +7,29 @@ Subcommands
 ``sweep``    the paper's 1+1 .. 8+8 sweep with improvement/efficiency table
 ``faults``   paired runs across fault scenarios with resilience metrics
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
+``cache``    inspect or clear the content-addressed result cache
+
+Execution engine
+----------------
+The experiment commands share execution flags (see docs/PERFORMANCE.md):
+``--jobs N`` fans independent runs out over N worker processes with
+deterministic result ordering; results are cached content-addressed on disk
+(default ``.repro_cache``, override with ``--cache-dir``, disable with
+``--no-cache``), so repeating a sweep serves it from disk instead of the
+simulator.  ``--exec-stats`` prints the per-run execution breakdown and
+``--profile`` wraps the command in cProfile and prints the top-20
+cumulative hotspots.
 
 Examples
 --------
     python -m repro run --app shockpool3d --network wan --procs 2 --steps 4
     python -m repro compare --app amr64 --network lan --procs 4
     python -m repro compare --fault slowdown --fault-start 2 --fault-duration 6
-    python -m repro sweep --app shockpool3d --configs 1 2 4
+    python -m repro sweep --app shockpool3d --configs 1 2 4 --jobs 4
+    python -m repro sweep --configs 1 2 4 --jobs 4 --exec-stats   # warm: all hits
     python -m repro faults --procs 2 --steps 6
     python -m repro figure fig2
+    python -m repro cache --clear
 """
 
 from __future__ import annotations
@@ -23,13 +37,13 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from .config import FaultParams
+from .config import ExecParams, FaultParams
+from .exec import ExecTask, get_default_executor, make_executor, set_default_executor
 from .harness import (
     FAULT_SWEEP_SCENARIOS,
     ExperimentConfig,
     format_percent,
     format_table,
-    run_experiment,
     run_fault_scenarios,
     run_paired,
     run_sweep,
@@ -77,6 +91,38 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                     help="seed for stochastic fault load models (default: 0)")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("execution engine")
+    g.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for independent runs (default: 1, "
+                        "serial; results are identical either way)")
+    g.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache directory "
+                        "(default: $REPRO_CACHE_DIR or .repro_cache)")
+    g.add_argument("--no-cache", action="store_true",
+                   help="do not read or write the result cache")
+    g.add_argument("--exec-stats", action="store_true",
+                   help="print the per-run execution breakdown table")
+    g.add_argument("--profile", action="store_true",
+                   help="profile the command (cProfile) and print the "
+                        "top-20 cumulative hotspots")
+
+
+def _exec_params_from(args: argparse.Namespace) -> ExecParams:
+    return ExecParams(
+        jobs=getattr(args, "jobs", 1),
+        use_cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
 def _fault_from(args: argparse.Namespace) -> Optional[FaultParams]:
     if args.fault == "none":
         return None
@@ -114,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment")
     _add_experiment_args(p_run)
+    _add_exec_args(p_run)
     p_run.add_argument("--scheme", default="distributed",
                        choices=["distributed", "parallel", "static"],
                        help="DLB scheme (default: distributed)")
@@ -122,9 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run both schemes, report improvement")
     _add_experiment_args(p_cmp)
+    _add_exec_args(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="paired sweep over configurations")
     _add_experiment_args(p_sweep)
+    _add_exec_args(p_sweep)
     p_sweep.add_argument("--configs", type=int, nargs="+", default=[1, 2, 4, 6, 8],
                          metavar="N", help="processors per group (default: 1 2 4 6 8)")
     p_sweep.add_argument("--efficiency", action="store_true",
@@ -134,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="paired runs across fault scenarios, resilience table"
     )
     _add_experiment_args(p_faults)
+    _add_exec_args(p_faults)
     p_faults.add_argument(
         "--scenarios", nargs="+", default=list(FAULT_SWEEP_SCENARIOS),
         choices=list(FAULT_SWEEP_SCENARIOS), metavar="S",
@@ -143,12 +193,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name",
                        choices=[f"fig{i}" for i in range(1, 9)],
                        help="which figure to regenerate")
+    _add_exec_args(p_fig)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or .repro_cache)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
 
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(_config_from(args), args.scheme)
+    # --timeline needs the event log, which cache hits cannot provide; the
+    # fresh result is still written back to the cache for other commands
+    task = ExecTask(_config_from(args), args.scheme,
+                    use_cache=not args.timeline)
+    result = get_default_executor().run_tasks([task])[0]
     print(result.summary())
     if args.timeline:
         from .harness import render_step_timeline
@@ -245,20 +309,28 @@ def _cmd_faults(args: argparse.Namespace) -> int:
               f"{args.fault_start + args.fault_duration:g})s",
     ))
     if args.json:
-        import json
-        from pathlib import Path
+        from .harness import save_fault_scenarios
 
-        from .harness.persist import run_result_to_dict
-
-        payload = {
-            name: {
-                "parallel": run_result_to_dict(pair.parallel),
-                "distributed": run_result_to_dict(pair.distributed),
-            }
-            for name, pair in results.items()
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        save_fault_scenarios(results, args.json)
         print(f"results written to {args.json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .exec import ResultCache
+
+    try:
+        cache = ResultCache(args.cache_dir)
+    except ValueError as err:
+        print(f"error: {err}")
+        return 2
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.cache_dir}")
+        return 0
+    print(f"cache dir: {cache.cache_dir}")
+    print(f"entries:   {cache.entry_count()}")
+    print(f"bytes:     {cache.total_bytes()}")
     return 0
 
 
@@ -279,6 +351,23 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profiled(fn, args: argparse.Namespace) -> int:
+    """Run ``fn(args)`` under cProfile; print the top-20 cumulative hotspots."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    rc = profiler.runcall(fn, args)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(20)
+    print()
+    print("profile (top 20 by cumulative time)")
+    print(stream.getvalue().rstrip())
+    return rc
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -288,5 +377,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "figure": _cmd_figure,
+        "cache": _cmd_cache,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.command == "cache":
+        return handler(args)
+
+    # install the command's executor as the session default so every
+    # harness call -- including the ones inside figure benches -- submits
+    # through it; restore the previous default afterwards (tests call
+    # main() repeatedly in one process)
+    try:
+        executor = make_executor(_exec_params_from(args))
+    except ValueError as err:
+        print(f"error: {err}")
+        return 2
+    previous = set_default_executor(executor)
+    try:
+        if getattr(args, "profile", False):
+            rc = _run_profiled(handler, args)
+        else:
+            rc = handler(args)
+    finally:
+        set_default_executor(previous)
+    stats = executor.stats
+    if rc == 0 and stats is not None and stats.ntasks:
+        print()
+        if getattr(args, "exec_stats", False):
+            from .harness import exec_stats_table
+
+            print(exec_stats_table(stats))
+        else:
+            print(stats.summary())
+    return rc

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SimParams", "SchemeParams", "FaultParams"]
+__all__ = ["SimParams", "SchemeParams", "FaultParams", "ExecParams"]
 
 #: fault scenarios the harness knows how to build (see
 #: :func:`repro.harness.experiment.make_faults`)
@@ -108,6 +108,35 @@ class SchemeParams:
             raise ValueError("local_tolerance must be in (0, 1)")
         if self.max_local_moves < 1:
             raise ValueError("max_local_moves must be >= 1")
+
+
+@dataclass(frozen=True)
+class ExecParams:
+    """How the harness executes batches of experiment runs.
+
+    Consumed by :func:`repro.exec.make_executor`; the CLI builds one from
+    its ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes in-process (serial); ``> 1`` fans
+        runs out over a process pool with deterministic result ordering.
+    use_cache:
+        Whether to consult/populate the content-addressed result cache.
+    cache_dir:
+        Cache directory.  ``None`` means the default
+        (``$REPRO_CACHE_DIR`` or ``.repro_cache`` under the working
+        directory).
+    """
+
+    jobs: int = 1
+    use_cache: bool = False
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,94 @@
+"""Batch execution engine for the experiment harness.
+
+``repro.exec`` decouples *what* the harness runs (pure, deterministic
+``(ExperimentConfig, scheme)`` tasks) from *how* it runs them: serially
+in-process, fanned out over a process pool, and/or served from a
+content-addressed on-disk result cache.  The harness entry points all
+accept an ``executor=`` argument and fall back to the module-wide default
+(a plain :class:`SerialExecutor`), which the CLI reconfigures from its
+``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags.
+
+>>> from repro.config import ExecParams
+>>> from repro.exec import make_executor
+>>> ex = make_executor(ExecParams(jobs=4, use_cache=True))   # doctest: +SKIP
+>>> sweep = run_sweep(cfg, executor=ex)                      # doctest: +SKIP
+"""
+
+from typing import Optional
+
+from ..config import ExecParams
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CODE_VERSION_SALT,
+    ResultCache,
+    canonical_json,
+    canonical_value,
+    default_cache_dir,
+    task_key,
+)
+from .executor import (
+    ExecStats,
+    ExecTask,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    TaskStats,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CODE_VERSION_SALT",
+    "ResultCache",
+    "canonical_json",
+    "canonical_value",
+    "default_cache_dir",
+    "task_key",
+    "ExecStats",
+    "ExecTask",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TaskStats",
+    "make_executor",
+    "get_default_executor",
+    "set_default_executor",
+]
+
+_default_executor: Optional[Executor] = None
+
+
+def make_executor(params: Optional[ExecParams] = None) -> Executor:
+    """Build an executor from :class:`~repro.config.ExecParams`.
+
+    ``jobs == 1`` gives a :class:`SerialExecutor` (no pool overhead);
+    ``jobs > 1`` a :class:`ParallelExecutor`.  ``use_cache`` attaches a
+    :class:`ResultCache` at ``cache_dir`` (or the default directory).
+    """
+    params = params or ExecParams()
+    cache = ResultCache(params.cache_dir) if params.use_cache else None
+    if params.jobs <= 1:
+        return SerialExecutor(cache=cache)
+    return ParallelExecutor(jobs=params.jobs, cache=cache)
+
+
+def get_default_executor() -> Executor:
+    """The executor harness functions use when none is passed explicitly.
+
+    Lazily a bare :class:`SerialExecutor` -- i.e. the historical inline-loop
+    behaviour -- until :func:`set_default_executor` installs another.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SerialExecutor()
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[Executor]) -> Optional[Executor]:
+    """Install ``executor`` as the default; returns the previous one.
+
+    Pass ``None`` to reset to the lazy serial default.
+    """
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous

@@ -1,0 +1,188 @@
+"""Content-addressed, on-disk cache of experiment results.
+
+Every ``(ExperimentConfig, scheme)`` run of the simulator is fully
+deterministic, so its result is a pure function of the configuration.  This
+module hashes a *canonical* recursive serialization of the config (nested
+``SimParams`` / ``SchemeParams`` / ``FaultParams`` included), the scheme
+name and a code-version salt into a key, and stores the result as JSON under
+``<cache_dir>/<key[:2]>/<key>.json`` -- the layout used by git's loose
+object store, keeping directories small for big sweeps.
+
+Invalidation rules (see docs/PERFORMANCE.md):
+
+* any config field change -- including inside nested dataclasses -- changes
+  the key;
+* the scheme name is part of the key;
+* the salt folds in the package version and a cache schema version, so
+  bumping either orphans old entries (they are simply never hit again);
+* unreadable, truncated or wrong-version entries are treated as misses and
+  overwritten, never trusted.
+
+Cached entries hold the persisted form of a :class:`RunResult`
+(``run_result_to_dict``), which summarises the event log to per-type counts.
+A cache hit therefore returns a result with ``events=None``; consumers that
+need the full event log (timeline rendering, resilience metrics) must
+execute fresh -- :class:`repro.exec.ExecTask` has a ``use_cache`` switch for
+exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CODE_VERSION_SALT",
+    "ResultCache",
+    "canonical_value",
+    "canonical_json",
+    "task_key",
+    "default_cache_dir",
+]
+
+#: bump when the cached payload layout (or run semantics) change; folded
+#: into every key, so old entries silently become unreachable
+CACHE_SCHEMA_VERSION = 1
+
+#: the code-version salt: results are only reused within the same package
+#: version and cache schema
+CODE_VERSION_SALT = f"repro-{__version__}/cache-v{CACHE_SCHEMA_VERSION}"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` under the cwd."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path(".repro_cache")
+
+
+def canonical_value(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable canonical form.
+
+    Dataclasses become ``{"__dataclass__": <classname>, <field>: ...}`` with
+    every field canonicalised recursively -- the class name is included so
+    two dataclasses with identical fields hash differently.  Tuples become
+    lists, dict keys are emitted in sorted order by :func:`canonical_json`.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, Any] = {"__dataclass__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical_value(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__!r} for cache keying")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text of :func:`canonical_value` (sorted keys,
+    no whitespace)."""
+    return json.dumps(canonical_value(obj), sort_keys=True, separators=(",", ":"))
+
+
+def task_key(config: Any, scheme: str, salt: str = CODE_VERSION_SALT) -> str:
+    """SHA-256 content address of one ``(config, scheme)`` run."""
+    text = f"{salt}\n{scheme}\n{canonical_json(config)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON-on-disk store of run results, keyed by content address.
+
+    Counters (``hits`` / ``misses`` / ``stores``) accumulate over the cache
+    object's lifetime and feed the executor's stats.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """Return the cached :class:`RunResult` for ``key`` or ``None``.
+
+        Any malformed entry (unparsable, wrong schema version, wrong key)
+        counts as a miss.
+        """
+        from ..harness.persist import run_result_from_dict
+
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("format") != CACHE_SCHEMA_VERSION
+            or payload.get("kind") != "cache-entry"
+            or payload.get("key") != key
+        ):
+            self.misses += 1
+            return None
+        try:
+            result = run_result_from_dict(payload["run"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` (atomically: write + rename)."""
+        from ..harness.persist import run_result_to_dict
+
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_SCHEMA_VERSION,
+            "kind": "cache-entry",
+            "key": key,
+            "salt": CODE_VERSION_SALT,
+            "run": run_result_to_dict(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def entry_count(self) -> int:
+        """Number of entries on disk."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def total_bytes(self) -> int:
+        """Total size of all entries on disk."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.cache_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for p in self.cache_dir.glob("*/*.json"):
+                p.unlink()
+                removed += 1
+        return removed

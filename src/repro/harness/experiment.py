@@ -40,7 +40,8 @@ from ..metrics.timing import RunResult
 from ..runtime import SAMRRunner
 
 __all__ = ["ExperimentConfig", "make_app", "make_system", "make_traffic",
-           "make_scheme", "make_faults", "run_experiment", "run_sequential"]
+           "make_scheme", "make_faults", "run_experiment", "run_sequential",
+           "execute_scheme", "sequential_config"]
 
 #: calibrated so a mid-size run sits in the paper's regime: on the WAN
 #: system, communication is a large minority of the parallel-DLB runtime
@@ -225,6 +226,32 @@ def run_experiment(cfg: ExperimentConfig, scheme_name: str) -> RunResult:
         fault_schedule=make_faults(cfg),
     )
     return runner.run(cfg.steps)
+
+
+def sequential_config(cfg: ExperimentConfig) -> ExperimentConfig:
+    """Normalise ``cfg`` to the fields the sequential reference depends on.
+
+    :func:`run_sequential` ignores the system shape, group size, traffic
+    weather and fault scenario (one dedicated processor, no network), so two
+    configs differing only in those fields have the *same* sequential run.
+    Normalising before building the execution task makes the content-address
+    of the sequential reference stable across a whole sweep.
+    """
+    return replace(cfg, network="parallel", procs_per_group=1,
+                   traffic_kind="none", traffic_level=0.0, traffic_seed=0,
+                   fault=None)
+
+
+def execute_scheme(cfg: ExperimentConfig, scheme_name: str) -> RunResult:
+    """Task dispatcher for :mod:`repro.exec` workers.
+
+    ``scheme_name`` is a real scheme (``"parallel"``, ``"distributed"``,
+    ``"static"``) or the pseudo-scheme ``"sequential"`` for the ``E(1)``
+    reference.
+    """
+    if scheme_name == "sequential":
+        return run_sequential(cfg)
+    return run_experiment(cfg, scheme_name)
 
 
 def run_sequential(cfg: ExperimentConfig) -> RunResult:

@@ -13,9 +13,10 @@ from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..config import FaultParams
+from ..config import FaultParams, SchemeParams, SimParams
 from ..distsys.events import EventLog
 from ..metrics.timing import RunResult
+from .replication import ReplicatedResult
 from .sweep import PairedResult, SweepResult
 
 __all__ = [
@@ -25,6 +26,10 @@ __all__ = [
     "load_sweep",
     "save_run",
     "load_run",
+    "save_replicated",
+    "load_replicated",
+    "save_fault_scenarios",
+    "load_fault_scenarios",
 ]
 
 _FORMAT_VERSION = 1
@@ -150,6 +155,128 @@ def load_sweep(path: Union[str, Path]) -> SweepResult:
             )
         )
     return SweepResult(pairs=pairs)
+
+
+def _config_to_dict(cfg) -> Dict:
+    """Full JSON form of an :class:`ExperimentConfig`, nested params included.
+
+    Unlike the (format-1) sweep entry, which keeps only the headline fields,
+    this captures everything -- ``traffic_seed``, ``base_speed``,
+    ``sim_params``, ``scheme_params`` and ``fault`` -- so reloaded configs
+    compare equal to the originals.
+    """
+    return {
+        "app_name": cfg.app_name,
+        "network": cfg.network,
+        "procs_per_group": cfg.procs_per_group,
+        "steps": cfg.steps,
+        "domain_cells": cfg.domain_cells,
+        "max_levels": cfg.max_levels,
+        "base_speed": cfg.base_speed,
+        "traffic_kind": cfg.traffic_kind,
+        "traffic_level": cfg.traffic_level,
+        "traffic_seed": cfg.traffic_seed,
+        "gamma": cfg.gamma,
+        "scheme_params": (
+            asdict(cfg.scheme_params) if cfg.scheme_params is not None else None
+        ),
+        "sim_params": asdict(cfg.sim_params),
+        "fault": asdict(cfg.fault) if cfg.fault is not None else None,
+    }
+
+
+def _config_from_dict(data: Dict):
+    """Rebuild an :class:`ExperimentConfig` from :func:`_config_to_dict`."""
+    from .experiment import ExperimentConfig
+
+    fields = dict(data)
+    if fields.get("scheme_params") is not None:
+        fields["scheme_params"] = SchemeParams(**fields["scheme_params"])
+    if fields.get("sim_params") is not None:
+        fields["sim_params"] = SimParams(**fields["sim_params"])
+    else:
+        fields.pop("sim_params", None)
+    if fields.get("fault") is not None:
+        fields["fault"] = FaultParams(**fields["fault"])
+    return ExperimentConfig(**fields)
+
+
+def _paired_to_dict(pair: PairedResult) -> Dict:
+    return {
+        "config": _config_to_dict(pair.config),
+        "parallel": run_result_to_dict(pair.parallel),
+        "distributed": run_result_to_dict(pair.distributed),
+        "sequential": (
+            run_result_to_dict(pair.sequential)
+            if pair.sequential is not None
+            else None
+        ),
+    }
+
+
+def _paired_from_dict(data: Dict) -> PairedResult:
+    return PairedResult(
+        config=_config_from_dict(data["config"]),
+        parallel=run_result_from_dict(data["parallel"]),
+        distributed=run_result_from_dict(data["distributed"]),
+        sequential=(
+            run_result_from_dict(data["sequential"])
+            if data.get("sequential") is not None
+            else None
+        ),
+    )
+
+
+def save_replicated(rep: ReplicatedResult, path: Union[str, Path]) -> None:
+    """Write a :class:`ReplicatedResult` (config + per-seed pairs) to JSON."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "kind": "replicated",
+        "config": _config_to_dict(rep.config),
+        "seeds": list(rep.seeds),
+        "pairs": [_paired_to_dict(p) for p in rep.pairs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_replicated(path: Union[str, Path]) -> ReplicatedResult:
+    """Reload a replicated result; the spread statistics recompute
+    transparently from the per-seed pairs."""
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "replicated")
+    return ReplicatedResult(
+        config=_config_from_dict(payload["config"]),
+        seeds=[int(s) for s in payload["seeds"]],
+        pairs=[_paired_from_dict(p) for p in payload["pairs"]],
+    )
+
+
+def save_fault_scenarios(
+    results: Dict[str, PairedResult], path: Union[str, Path]
+) -> None:
+    """Write a :func:`~repro.harness.sweep.run_fault_scenarios` result dict.
+
+    Scenario order is preserved (entries are a list, not an object), so the
+    reloaded dict iterates in the same order as the original.
+    """
+    payload = {
+        "format": _FORMAT_VERSION,
+        "kind": "fault-scenarios",
+        "scenarios": [
+            {"scenario": name, **_paired_to_dict(pair)}
+            for name, pair in results.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_fault_scenarios(path: Union[str, Path]) -> Dict[str, PairedResult]:
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "fault-scenarios")
+    out: Dict[str, PairedResult] = {}
+    for entry in payload["scenarios"]:
+        out[entry["scenario"]] = _paired_from_dict(entry)
+    return out
 
 
 def _check(payload: Dict, kind: str) -> None:

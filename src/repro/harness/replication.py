@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from ..exec import ExecStats, ExecTask, Executor, get_default_executor
 from .experiment import ExperimentConfig
-from .sweep import PairedResult, run_paired
+from .sweep import PairedResult
 
 __all__ = ["ReplicatedResult", "replicate"]
 
@@ -26,6 +27,9 @@ class ReplicatedResult:
     config: ExperimentConfig
     seeds: List[int]
     pairs: List[PairedResult]
+    #: how the replicates were executed (jobs, cache hits, wall-clock);
+    #: ``None`` for hand-assembled or reloaded results
+    exec_stats: Optional[ExecStats] = None
 
     @property
     def improvements(self) -> List[float]:
@@ -62,22 +66,40 @@ class ReplicatedResult:
             f"{len(self.seeds)} traffic seeds)"
         )
 
+    def exec_summary(self) -> str:
+        """One-line execution summary (empty when no stats were recorded)."""
+        return self.exec_stats.summary() if self.exec_stats is not None else ""
+
 
 def replicate(
     cfg: ExperimentConfig,
     seeds: Sequence[int] = (1, 2, 3),
     traffic_kind: str = "bursty",
+    executor: Optional[Executor] = None,
 ) -> ReplicatedResult:
     """Run the paired experiment once per traffic seed.
 
     ``traffic_kind`` defaults to bursty because only seeded traffic models
     vary between replicates; with constant traffic every replicate is
-    identical (the simulation itself is deterministic).
+    identical (the simulation itself is deterministic).  All replicates are
+    submitted as one executor batch, so a parallel executor overlaps them.
     """
     if not seeds:
         raise ValueError("seeds must be non-empty")
-    pairs = []
-    for seed in seeds:
-        run_cfg = replace(cfg, traffic_kind=traffic_kind, traffic_seed=int(seed))
-        pairs.append(run_paired(run_cfg))
-    return ReplicatedResult(config=cfg, seeds=list(seeds), pairs=pairs)
+    ex = executor if executor is not None else get_default_executor()
+    configs = [
+        replace(cfg, traffic_kind=traffic_kind, traffic_seed=int(seed))
+        for seed in seeds
+    ]
+    tasks: List[ExecTask] = []
+    for run_cfg in configs:
+        tasks.append(ExecTask(run_cfg, "parallel"))
+        tasks.append(ExecTask(run_cfg, "distributed"))
+    results = ex.run_tasks(tasks)
+    pairs = [
+        PairedResult(config=run_cfg, parallel=results[2 * i],
+                     distributed=results[2 * i + 1])
+        for i, run_cfg in enumerate(configs)
+    ]
+    return ReplicatedResult(config=cfg, seeds=list(seeds), pairs=pairs,
+                            exec_stats=ex.last_stats)

@@ -7,9 +7,13 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_percent", "comparison_block"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import ExecStats
+
+__all__ = ["format_table", "format_percent", "comparison_block",
+           "exec_stats_table"]
 
 
 def format_table(
@@ -67,6 +71,30 @@ def _is_number(s: str) -> bool:
 def format_percent(x: float, digits: int = 1) -> str:
     """``0.297 -> '29.7%'``."""
     return f"{100.0 * x:.{digits}f}%"
+
+
+def exec_stats_table(stats: "ExecStats") -> str:
+    """Per-run execution breakdown: where the batch's wall-clock went.
+
+    One row per task -- cache hits show ``cached`` in place of timings --
+    followed by the one-line aggregate summary.  This is the CLI's
+    ``--exec-stats`` output.
+    """
+    rows = []
+    for t in stats.tasks:
+        rows.append(
+            (
+                t.label,
+                "hit" if t.cached else "run",
+                "-" if t.cached else f"{t.wall_seconds:.3f}",
+                "-" if t.cached else f"{t.queue_seconds:.3f}",
+            )
+        )
+    table = format_table(
+        ["task", "cache", "run [s]", "queued [s]"], rows,
+        title=f"execution breakdown ({stats.ntasks} runs, jobs={stats.jobs})",
+    )
+    return table + "\n" + stats.summary()
 
 
 def comparison_block(

@@ -4,6 +4,14 @@
 configuration runs both schemes against the same pinned workload and the
 same traffic realisation, so the difference is attributable to the scheme
 alone (Section 5's back-to-back methodology).
+
+All entry points describe their runs as :class:`repro.exec.ExecTask`
+batches and submit them through an :class:`repro.exec.Executor` -- the
+default is in-process serial execution (the historical behaviour), but a
+:class:`~repro.exec.ParallelExecutor` fans a whole sweep out over worker
+processes and a :class:`~repro.exec.ResultCache` serves repeated runs
+without touching the simulator.  Every run is deterministic, so the three
+paths produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -12,9 +20,10 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..config import FaultParams
+from ..exec import ExecStats, ExecTask, Executor, get_default_executor
 from ..metrics.efficiency import efficiency
 from ..metrics.timing import RunResult
-from .experiment import ExperimentConfig, run_experiment, run_sequential
+from .experiment import ExperimentConfig, sequential_config
 
 __all__ = ["PairedResult", "SweepResult", "run_paired", "run_sweep",
            "run_fault_scenarios", "PAPER_CONFIGS", "FAULT_SWEEP_SCENARIOS"]
@@ -65,6 +74,9 @@ class SweepResult:
     """A full configuration sweep."""
 
     pairs: List[PairedResult]
+    #: how the sweep was executed (jobs, cache hits, wall-clock); ``None``
+    #: for hand-assembled or reloaded sweeps
+    exec_stats: Optional[ExecStats] = None
 
     @property
     def improvements(self) -> List[float]:
@@ -78,38 +90,71 @@ class SweepResult:
     def by_label(self) -> Dict[str, PairedResult]:
         return {p.config.label: p for p in self.pairs}
 
+    def exec_summary(self) -> str:
+        """One-line execution summary (empty when no stats were recorded)."""
+        return self.exec_stats.summary() if self.exec_stats is not None else ""
 
-def run_paired(cfg: ExperimentConfig, with_sequential: bool = False) -> PairedResult:
+
+def run_paired(
+    cfg: ExperimentConfig,
+    with_sequential: bool = False,
+    executor: Optional[Executor] = None,
+) -> PairedResult:
     """Run parallel DLB then distributed DLB on one pinned configuration."""
-    par = run_experiment(cfg, "parallel")
-    dist = run_experiment(cfg, "distributed")
-    seq = run_sequential(cfg) if with_sequential else None
-    return PairedResult(config=cfg, parallel=par, distributed=dist, sequential=seq)
+    ex = executor if executor is not None else get_default_executor()
+    tasks = [ExecTask(cfg, "parallel"), ExecTask(cfg, "distributed")]
+    if with_sequential:
+        tasks.append(ExecTask(sequential_config(cfg), "sequential"))
+    results = ex.run_tasks(tasks)
+    return PairedResult(
+        config=cfg,
+        parallel=results[0],
+        distributed=results[1],
+        sequential=results[2] if with_sequential else None,
+    )
 
 
 def run_sweep(
     base: ExperimentConfig,
     procs_per_group: Sequence[int] = PAPER_CONFIGS,
     with_sequential: bool = False,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Run the paired experiment over a series of configurations.
 
     The sequential reference (needed for Fig. 8) is workload-identical
-    across configurations, so it is run once and shared.
+    across configurations, so it is run once and shared.  The whole series
+    -- sequential reference plus both schemes of every configuration -- is
+    submitted as one batch, so a parallel executor overlaps everything.
     """
-    seq = run_sequential(base) if with_sequential else None
-    pairs = []
-    for n in procs_per_group:
-        cfg = replace(base, procs_per_group=n)
-        pair = run_paired(cfg, with_sequential=False)
-        pair.sequential = seq
-        pairs.append(pair)
-    return SweepResult(pairs=pairs)
+    ex = executor if executor is not None else get_default_executor()
+    tasks: List[ExecTask] = []
+    if with_sequential:
+        tasks.append(ExecTask(sequential_config(base), "sequential"))
+    configs = [replace(base, procs_per_group=n) for n in procs_per_group]
+    for cfg in configs:
+        tasks.append(ExecTask(cfg, "parallel"))
+        tasks.append(ExecTask(cfg, "distributed"))
+    results = ex.run_tasks(tasks)
+    seq = results[0] if with_sequential else None
+    offset = 1 if with_sequential else 0
+    pairs = [
+        PairedResult(
+            config=cfg,
+            parallel=results[offset + 2 * i],
+            distributed=results[offset + 2 * i + 1],
+            sequential=seq,
+        )
+        for i, cfg in enumerate(configs)
+    ]
+    return SweepResult(pairs=pairs, exec_stats=ex.last_stats)
 
 
 def run_fault_scenarios(
     base: ExperimentConfig,
     scenarios: Sequence[str] = FAULT_SWEEP_SCENARIOS,
+    executor: Optional[Executor] = None,
+    need_events: bool = True,
 ) -> Dict[str, PairedResult]:
     """Paired runs of one configuration across fault scenarios.
 
@@ -118,10 +163,28 @@ def run_fault_scenarios(
     the scenario kind -- so the sweep isolates *what kind* of perturbation
     hits, with everything else pinned.  ``"none"`` rows run fault-free and
     serve as the control.
+
+    ``need_events`` keeps the distributed runs out of the result cache's
+    *read* path (cached results carry no event log, and the resilience
+    metrics are computed from events); pass ``False`` when only the timing
+    totals matter and cache hits are welcome.
     """
     template = base.fault if base.fault is not None else FaultParams()
-    out: Dict[str, PairedResult] = {}
+    ex = executor if executor is not None else get_default_executor()
+    configs: List[ExperimentConfig] = []
+    tasks: List[ExecTask] = []
     for scenario in scenarios:
         fault = None if scenario == "none" else replace(template, scenario=scenario)
-        out[scenario] = run_paired(replace(base, fault=fault))
+        cfg = replace(base, fault=fault)
+        configs.append(cfg)
+        tasks.append(ExecTask(cfg, "parallel"))
+        tasks.append(ExecTask(cfg, "distributed", use_cache=not need_events))
+    results = ex.run_tasks(tasks)
+    out: Dict[str, PairedResult] = {}
+    for i, scenario in enumerate(scenarios):
+        out[scenario] = PairedResult(
+            config=configs[i],
+            parallel=results[2 * i],
+            distributed=results[2 * i + 1],
+        )
     return out

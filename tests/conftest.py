@@ -12,6 +12,17 @@ from repro.distsys import ConstantTraffic, lan_system, parallel_system, wan_syst
 from repro.runtime import root_blocks
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test temp dir.
+
+    The CLI caches results under ``.repro_cache`` by default; during tests
+    that must neither dirty the working directory nor leak state between
+    tests.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture
 def domain3d() -> Box:
     return Box.cube(0, 16, 3)

@@ -92,6 +92,16 @@ class TestCommands:
 
         assert len(load_sweep(path).pairs) == 1
 
+    def test_faults_json_output(self, capsys, tmp_path):
+        path = tmp_path / "f.json"
+        rc = main(["faults", "--procs", "1", "--steps", "2",
+                   "--scenarios", "none", "slowdown", "--json", str(path)])
+        assert rc == 0
+        from repro.harness import load_fault_scenarios
+
+        back = load_fault_scenarios(path)
+        assert list(back) == ["none", "slowdown"]
+
     def test_module_entry_point(self):
         import subprocess
         import sys
@@ -102,3 +112,94 @@ class TestCommands:
         )
         assert proc.returncode == 0
         assert "Fig. 2" in proc.stdout
+
+
+class TestExecFlags:
+    def test_exec_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert not args.exec_stats
+        assert not args.profile
+
+    def test_exec_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache",
+             "--exec-stats", "--profile"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache and args.exec_stats and args.profile
+
+    def test_exec_summary_printed(self, capsys):
+        rc = main(["compare", "--procs", "1", "--steps", "2"])
+        assert rc == 0
+        assert "executor:" in capsys.readouterr().out
+
+    def test_sweep_second_invocation_hits_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--configs", "1", "--steps", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 cache hits, 0 executed" in warm
+        # the cached rerun prints the identical results table
+        assert cold.split("executor:")[0] == warm.split("executor:")[0]
+
+    def test_no_cache_disables_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--configs", "1", "--steps", "2", "--no-cache",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+        assert not any(tmp_path.iterdir())
+
+    def test_exec_stats_table(self, capsys, tmp_path):
+        rc = main(["sweep", "--configs", "1", "--steps", "2",
+                   "--cache-dir", str(tmp_path), "--exec-stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution breakdown" in out
+        assert "[distributed]" in out
+
+    def test_parallel_jobs_match_serial(self, capsys, tmp_path):
+        base = ["sweep", "--configs", "1", "2", "--steps", "2", "--no-cache"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.split("executor:")[0] == parallel.split("executor:")[0]
+        assert "jobs=2" in parallel
+
+    def test_timeline_bypasses_cache_read(self, capsys, tmp_path):
+        argv = ["run", "--procs", "1", "--steps", "2", "--timeline",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv) == 0  # second run must re-execute, not crash on a hit
+        out = capsys.readouterr().out
+        assert "Per-coarse-step activity" in out
+        assert "0 cache hits" in out
+
+    def test_profile_prints_hotspots(self, capsys):
+        rc = main(["run", "--procs", "1", "--steps", "2", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile (top 20 by cumulative time)" in out
+        assert "cumtime" in out
+
+    def test_cache_subcommand_info_and_clear(self, capsys, tmp_path):
+        sweep_argv = ["sweep", "--configs", "1", "--steps", "2",
+                      "--cache-dir", str(tmp_path)]
+        assert main(sweep_argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   2" in out
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:   0" in capsys.readouterr().out

@@ -8,12 +8,18 @@ import pytest
 
 from repro.harness import (
     ExperimentConfig,
+    load_fault_scenarios,
+    load_replicated,
     load_run,
     load_sweep,
     render_event_listing,
     render_step_timeline,
+    replicate,
     run_experiment,
+    run_fault_scenarios,
     run_sweep,
+    save_fault_scenarios,
+    save_replicated,
     save_run,
     save_sweep,
     step_timeline,
@@ -87,6 +93,79 @@ class TestSweepPersistence:
         back = load_sweep(path)
         assert back.pairs[0].config.label == sweep.pairs[0].config.label
         assert back.pairs[0].config.gamma == sweep.pairs[0].config.gamma
+
+
+class TestReplicatedPersistence:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        return replicate(
+            ExperimentConfig(procs_per_group=1, steps=2), seeds=(1, 2)
+        )
+
+    def test_file_roundtrip(self, replicated, tmp_path):
+        path = tmp_path / "replicated.json"
+        save_replicated(replicated, path)
+        back = load_replicated(path)
+        assert back.seeds == replicated.seeds
+        assert len(back.pairs) == len(replicated.pairs)
+        # the spread statistics recompute identically from reloaded pairs
+        assert back.mean_improvement == pytest.approx(replicated.mean_improvement)
+        assert back.std_improvement == pytest.approx(replicated.std_improvement)
+        assert back.summary() == replicated.summary()
+
+    def test_full_config_survives(self, replicated, tmp_path):
+        path = tmp_path / "replicated.json"
+        save_replicated(replicated, path)
+        back = load_replicated(path)
+        # per-seed configs keep their traffic seed (format-1 sweep files
+        # drop it; the replicated format must not)
+        assert [p.config.traffic_seed for p in back.pairs] == [1, 2]
+        assert back.pairs[0].config == replicated.pairs[0].config
+
+    def test_wrong_kind_rejected(self, replicated, tmp_path):
+        path = tmp_path / "replicated.json"
+        save_replicated(replicated, path)
+        with pytest.raises(ValueError):
+            load_sweep(path)
+        with pytest.raises(ValueError):
+            load_fault_scenarios(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "kind": "replicated"}))
+        with pytest.raises(ValueError):
+            load_replicated(path)
+
+
+class TestFaultScenarioPersistence:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        return run_fault_scenarios(
+            ExperimentConfig(procs_per_group=1, steps=2), ("none", "slowdown")
+        )
+
+    def test_file_roundtrip_preserves_order(self, scenarios, tmp_path):
+        path = tmp_path / "faults.json"
+        save_fault_scenarios(scenarios, path)
+        back = load_fault_scenarios(path)
+        assert list(back) == list(scenarios)
+        for name in scenarios:
+            assert back[name].improvement == pytest.approx(
+                scenarios[name].improvement
+            )
+
+    def test_fault_params_survive(self, scenarios, tmp_path):
+        path = tmp_path / "faults.json"
+        save_fault_scenarios(scenarios, path)
+        back = load_fault_scenarios(path)
+        assert back["none"].config.fault is None
+        assert back["slowdown"].config.fault == scenarios["slowdown"].config.fault
+
+    def test_wrong_kind_rejected(self, scenarios, tmp_path):
+        path = tmp_path / "faults.json"
+        save_fault_scenarios(scenarios, path)
+        with pytest.raises(ValueError):
+            load_replicated(path)
 
 
 class TestTimeline:
