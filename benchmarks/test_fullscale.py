@@ -33,7 +33,7 @@ def sweep():
         app_name="shockpool3d", network="wan", steps=4,
         domain_cells=24, max_levels=4, traffic_level=0.45,
     )
-    return run_sweep(base, (1, 2, 4), with_sequential=False)
+    return run_sweep(base, procs_per_group=(1, 2, 4), with_sequential=False)
 
 
 def test_fullscale_shockpool3d(benchmark):

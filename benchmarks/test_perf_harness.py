@@ -46,7 +46,7 @@ def _comparable(sweep):
 
 def _timed(executor):
     t0 = time.perf_counter()
-    sweep = run_sweep(BASE, CONFIGS, executor=executor)
+    sweep = run_sweep(BASE, procs_per_group=CONFIGS, executor=executor)
     return sweep, time.perf_counter() - t0
 
 

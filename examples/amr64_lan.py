@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.harness import ExperimentConfig, format_percent, format_table, run_sweep
+from repro.api import ExperimentConfig, format_percent, format_table, run_sweep
 
 
 def main(quick: bool = False) -> None:
@@ -30,7 +30,7 @@ def main(quick: bool = False) -> None:
     print(f"workload: AMR64 (clustered refinement, elliptic solver), "
           f"{steps} coarse steps\n")
 
-    sweep = run_sweep(base, configs)
+    sweep = run_sweep(base, procs_per_group=configs)
 
     rows = []
     for p in sweep.pairs:

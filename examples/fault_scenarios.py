@@ -13,9 +13,13 @@ site -- then shifts them back when the fault window closes.
 
 from __future__ import annotations
 
-from repro.config import FaultParams
+from repro.api import (
+    ExperimentConfig,
+    FaultParams,
+    format_table,
+    run_fault_scenarios,
+)
 from repro.faults import imbalance_trajectory, resilience_report
-from repro.harness import ExperimentConfig, format_table, run_fault_scenarios
 
 
 def main() -> None:

@@ -11,7 +11,7 @@ workload, where inter-group imbalance recurs every few steps.
 
 from __future__ import annotations
 
-from repro.harness import ExperimentConfig, format_table, run_experiment
+from repro.api import ExperimentConfig, format_table, run_experiment
 
 
 def main() -> None:

@@ -12,7 +12,7 @@ congested link *suppresses* redistribution until it is worth it.
 from __future__ import annotations
 
 from repro.distsys.events import GlobalDecisionEvent, ProbeEvent
-from repro.harness import ExperimentConfig, format_table, run_experiment
+from repro.api import ExperimentConfig, format_table, run_experiment
 
 
 def main() -> None:

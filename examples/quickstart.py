@@ -1,48 +1,50 @@
 #!/usr/bin/env python
-"""Quickstart: one paired experiment, end to end.
+"""Quickstart: one paired experiment, end to end, through ``repro.api``.
 
 Runs the paper's headline comparison at the smallest interesting scale --
-ShockPool3D on a 2+2 WAN federation -- with both DLB schemes, and prints
-what each scheme did and who won.
+ShockPool3D on a 2+2 WAN federation -- with both DLB schemes, prints who
+won, and (with ``--trace``) exports a Chrome trace of every phase of both
+runs, loadable in Perfetto (https://ui.perfetto.dev).
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--trace]
 """
 
 from __future__ import annotations
 
-from repro.amr.applications import ShockPool3D
-from repro.core import DistributedDLB, ParallelDLB
-from repro.distsys import ConstantTraffic, wan_system
-from repro.runtime import SAMRRunner
+import sys
+
+from repro.api import (
+    ExperimentConfig,
+    Tracer,
+    flame_summary,
+    run_paired,
+    write_chrome_trace,
+)
 
 
-def main() -> None:
-    # The application: a tilted shock plane sweeping a 16^3 domain, refined
-    # down to 3 levels (the paper's ShockPool3D behaviour in miniature).
-    def app():
-        return ShockPool3D(domain_cells=16, max_levels=3)
+def main(trace: bool = False) -> None:
+    # The paper's headline experiment in miniature: a tilted shock plane
+    # sweeping a 16^3 domain on two 2-processor groups (ANL + NCSA) joined
+    # by the shared MREN OC-3 WAN at 30% background traffic.
+    cfg = ExperimentConfig(
+        app_name="shockpool3d",
+        network="wan",
+        procs_per_group=2,
+        steps=4,
+        traffic_kind="constant",
+        traffic_level=0.3,
+    )
 
-    # The machine: two 2-processor groups (ANL + NCSA) joined by the shared
-    # MREN OC-3 WAN carrying 30% background traffic.
-    def system():
-        return wan_system(nprocs_per_group=2, traffic=ConstantTraffic(0.3),
-                          base_speed=2.0e4)
+    tracer = Tracer() if trace else None
+    pair = run_paired(cfg, tracer=tracer)
 
-    results = {}
-    for name, scheme in (
-        ("parallel DLB (baseline)", ParallelDLB()),
-        ("distributed DLB (paper)", DistributedDLB()),
-    ):
-        runner = SAMRRunner(app(), system(), scheme)
-        results[name] = runner.run(ncoarse_steps=4)
-        print(results[name].summary())
+    for result in (pair.parallel, pair.distributed):
+        print(result.summary())
         print()
 
-    par = results["parallel DLB (baseline)"]
-    dist = results["distributed DLB (paper)"]
-    improvement = dist.improvement_over(par)
+    par, dist = pair.parallel, pair.distributed
     print(
-        f"distributed DLB reduced execution time by {improvement:.1%} "
+        f"distributed DLB reduced execution time by {pair.improvement:.1%} "
         f"({par.total_time:.2f}s -> {dist.total_time:.2f}s)"
     )
     print(
@@ -51,6 +53,14 @@ def main() -> None:
         "children grids in their parents' group, off the WAN"
     )
 
+    if tracer is not None:
+        out = "quickstart_trace.json"
+        write_chrome_trace(tracer.records(), out)
+        print(f"\nwrote {tracer.record_count} spans to {out} "
+              "(load it at https://ui.perfetto.dev)")
+        print()
+        print(flame_summary(tracer.records()))
+
 
 if __name__ == "__main__":
-    main()
+    main(trace="--trace" in sys.argv[1:])

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.harness import ExperimentConfig, format_percent, format_table, run_sweep
+from repro.api import ExperimentConfig, format_percent, format_table, run_sweep
 
 
 def main(quick: bool = False) -> None:
@@ -28,7 +28,7 @@ def main(quick: bool = False) -> None:
     print(f"workload: {base.app_name}, {base.domain_cells}^3 root cells, "
           f"{base.max_levels} levels, {steps} coarse steps\n")
 
-    sweep = run_sweep(base, configs, with_sequential=True)
+    sweep = run_sweep(base, procs_per_group=configs, with_sequential=True)
 
     rows = []
     for p in sweep.pairs:

@@ -1,0 +1,144 @@
+"""The blessed import surface: ``from repro.api import ...``.
+
+Everything a user of the reproduction needs -- configs, entry points,
+executors, observability, persistence and reporting -- re-exported from
+one module with one stable ``__all__``.  Internal module layout may move
+between releases; names listed here will not.  ``tests/test_api_surface.py``
+pins the list.
+
+All ``run_*`` entry points share one call shape::
+
+    run_*(config, *, executor=None, tracer=None, seed=None, ...)
+
+``executor`` overrides the execution engine (serial / process-pool /
+cached), ``tracer`` records spans for every simulated run (see
+:mod:`repro.obs` and ``docs/OBSERVABILITY.md``), and ``seed`` overrides the
+config's traffic seed.  Older positional call forms still work behind
+:class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+# -- configuration ---------------------------------------------------------
+from .config import ExecParams, FaultParams, SchemeParams, SimParams
+from .harness.experiment import ExperimentConfig, sequential_config
+
+# -- entry points ----------------------------------------------------------
+from . import quick_run
+from .harness.experiment import execute_scheme, run_experiment, run_sequential
+from .harness.replication import replicate
+from .harness.sweep import (
+    FAULT_SWEEP_SCENARIOS,
+    PAPER_CONFIGS,
+    run_fault_scenarios,
+    run_paired,
+    run_sweep,
+)
+
+# -- results ---------------------------------------------------------------
+from .harness.replication import ReplicatedResult
+from .harness.sweep import PairedResult, SweepResult
+from .metrics import RunResult, efficiency
+
+# -- execution engines -----------------------------------------------------
+from .exec import (
+    ExecStats,
+    ExecTask,
+    Executor,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    get_default_executor,
+    set_default_executor,
+)
+
+# -- observability ---------------------------------------------------------
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+
+# -- persistence -----------------------------------------------------------
+from .harness.persist import (
+    load_fault_scenarios,
+    load_replicated,
+    load_run,
+    load_sweep,
+    save_fault_scenarios,
+    save_replicated,
+    save_run,
+    save_sweep,
+)
+
+# -- reporting and timelines -----------------------------------------------
+from .harness.report import comparison_block, format_percent, format_table
+from .harness.timeline import (
+    render_event_listing,
+    render_step_timeline,
+    step_timeline,
+)
+
+__all__ = [
+    # configuration
+    "ExperimentConfig",
+    "SimParams",
+    "SchemeParams",
+    "FaultParams",
+    "ExecParams",
+    "sequential_config",
+    # entry points
+    "quick_run",
+    "run_experiment",
+    "run_sequential",
+    "run_paired",
+    "run_sweep",
+    "run_fault_scenarios",
+    "replicate",
+    "execute_scheme",
+    "PAPER_CONFIGS",
+    "FAULT_SWEEP_SCENARIOS",
+    # results
+    "RunResult",
+    "PairedResult",
+    "SweepResult",
+    "ReplicatedResult",
+    "efficiency",
+    # execution engines
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecTask",
+    "ExecStats",
+    "ResultCache",
+    "get_default_executor",
+    "set_default_executor",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_span_jsonl",
+    "flame_summary",
+    "validate_chrome_trace",
+    # persistence
+    "save_run",
+    "load_run",
+    "save_sweep",
+    "load_sweep",
+    "save_replicated",
+    "load_replicated",
+    "save_fault_scenarios",
+    "load_fault_scenarios",
+    # reporting and timelines
+    "format_table",
+    "format_percent",
+    "comparison_block",
+    "step_timeline",
+    "render_step_timeline",
+    "render_event_listing",
+]

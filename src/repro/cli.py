@@ -6,8 +6,17 @@ Subcommands
 ``compare``  both schemes on one pinned configuration, print the verdict
 ``sweep``    the paper's 1+1 .. 8+8 sweep with improvement/efficiency table
 ``faults``   paired runs across fault scenarios with resilience metrics
+``trace``    run schemes under the tracer, export Chrome trace / JSONL / flame
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
 ``cache``    inspect or clear the content-addressed result cache
+
+Observability
+-------------
+The experiment commands accept ``--trace`` (print a flame summary of every
+span after the run) and ``--trace-out PATH`` (also export a Chrome
+trace-event JSON, loadable at https://ui.perfetto.dev; implies ``--trace``).
+The dedicated ``trace`` subcommand runs one configuration under both (or
+one) scheme(s) purely for its trace.  See docs/OBSERVABILITY.md.
 
 Execution engine
 ----------------
@@ -28,6 +37,8 @@ Examples
     python -m repro sweep --app shockpool3d --configs 1 2 4 --jobs 4
     python -m repro sweep --configs 1 2 4 --jobs 4 --exec-stats   # warm: all hits
     python -m repro faults --procs 2 --steps 6
+    python -m repro compare --procs 2 --trace-out pair.json
+    python -m repro trace --procs 2 --steps 3 --out trace.json
     python -m repro figure fig2
     python -m repro cache --clear
 """
@@ -39,6 +50,7 @@ from typing import List, Optional, Sequence
 
 from .config import ExecParams, FaultParams
 from .exec import ExecTask, get_default_executor, make_executor, set_default_executor
+from .obs import Tracer, flame_summary, write_chrome_trace
 from .harness import (
     FAULT_SWEEP_SCENARIOS,
     ExperimentConfig,
@@ -115,6 +127,35 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
                         "top-20 cumulative hotspots")
 
 
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument("--trace", action="store_true",
+                   help="trace every run and print a flame summary")
+    g.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="export the spans as Chrome trace-event JSON to PATH "
+                        "(implies --trace; load at https://ui.perfetto.dev)")
+
+
+def _tracer_from(args: argparse.Namespace) -> Optional[Tracer]:
+    """The command's tracer, or ``None`` when tracing was not requested."""
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        return Tracer()
+    return None
+
+
+def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    """Print the flame summary and export the Chrome trace, as requested."""
+    if tracer is None:
+        return
+    print()
+    print(flame_summary(tracer.records()))
+    out = getattr(args, "trace_out", None)
+    if out:
+        write_chrome_trace(tracer.records(), out)
+        print(f"\n{tracer.record_count} spans written to {out} "
+              "(chrome trace-event format)")
+
+
 def _exec_params_from(args: argparse.Namespace) -> ExecParams:
     return ExecParams(
         jobs=getattr(args, "jobs", 1),
@@ -161,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one experiment")
     _add_experiment_args(p_run)
     _add_exec_args(p_run)
+    _add_trace_args(p_run)
     p_run.add_argument("--scheme", default="distributed",
                        choices=["distributed", "parallel", "static"],
                        help="DLB scheme (default: distributed)")
@@ -170,10 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="run both schemes, report improvement")
     _add_experiment_args(p_cmp)
     _add_exec_args(p_cmp)
+    _add_trace_args(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="paired sweep over configurations")
     _add_experiment_args(p_sweep)
     _add_exec_args(p_sweep)
+    _add_trace_args(p_sweep)
     p_sweep.add_argument("--configs", type=int, nargs="+", default=[1, 2, 4, 6, 8],
                          metavar="N", help="processors per group (default: 1 2 4 6 8)")
     p_sweep.add_argument("--efficiency", action="store_true",
@@ -184,10 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_args(p_faults)
     _add_exec_args(p_faults)
+    _add_trace_args(p_faults)
     p_faults.add_argument(
         "--scenarios", nargs="+", default=list(FAULT_SWEEP_SCENARIOS),
         choices=list(FAULT_SWEEP_SCENARIOS), metavar="S",
         help="scenarios to run (default: all, with 'none' as control)")
+
+    p_trace = sub.add_parser(
+        "trace", help="run under the tracer and export the spans"
+    )
+    _add_experiment_args(p_trace)
+    _add_exec_args(p_trace)
+    p_trace.add_argument("--scheme", default="both",
+                         choices=["both", "distributed", "parallel", "static"],
+                         help="scheme(s) to trace (default: both)")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="output file (default: trace.json)")
+    p_trace.add_argument("--format", default="chrome",
+                         choices=["chrome", "jsonl", "flame"],
+                         help="chrome trace-event JSON (Perfetto-loadable), "
+                              "span-per-line JSONL, or the text flame "
+                              "summary (default: chrome)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name",
@@ -208,11 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    # --timeline needs the event log, which cache hits cannot provide; the
-    # fresh result is still written back to the cache for other commands
+    # --timeline needs the event log and --trace the spans, neither of
+    # which cache hits can provide; the fresh result is still written back
+    # to the cache for other commands
+    tracer = _tracer_from(args)
+    trace = tracer is not None
     task = ExecTask(_config_from(args), args.scheme,
-                    use_cache=not args.timeline)
+                    use_cache=not (args.timeline or trace), trace=trace)
     result = get_default_executor().run_tasks([task])[0]
+    if trace and result.spans:
+        tracer.extend(result.spans)
     print(result.summary())
     if args.timeline:
         from .harness import render_step_timeline
@@ -224,11 +290,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_run(result, args.json)
         print(f"result written to {args.json}")
+    _finish_trace(tracer, args)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    pair = run_paired(_config_from(args))
+    tracer = _tracer_from(args)
+    pair = run_paired(_config_from(args), tracer=tracer)
     print(pair.parallel.summary())
     print()
     print(pair.distributed.summary())
@@ -238,12 +306,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"improvement ({pair.parallel.total_time:.3f}s -> "
         f"{pair.distributed.total_time:.3f}s)"
     )
+    _finish_trace(tracer, args)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    sweep = run_sweep(_config_from(args), tuple(args.configs),
-                      with_sequential=args.efficiency)
+    tracer = _tracer_from(args)
+    sweep = run_sweep(_config_from(args), procs_per_group=tuple(args.configs),
+                      with_sequential=args.efficiency, tracer=tracer)
     rows = []
     for p in sweep.pairs:
         row: List[object] = [
@@ -266,6 +336,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         save_sweep(sweep, args.json)
         print(f"sweep written to {args.json}")
+    _finish_trace(tracer, args)
     return 0
 
 
@@ -285,7 +356,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         seed=args.fault_seed,
     )
     cfg = replace(_config_from(args), fault=template)
-    results = run_fault_scenarios(cfg, tuple(args.scenarios))
+    tracer = _tracer_from(args)
+    results = run_fault_scenarios(cfg, scenarios=tuple(args.scenarios),
+                                  tracer=tracer)
     rows = []
     for name, pair in results.items():
         rep = resilience_report(pair.distributed.events)
@@ -313,6 +386,38 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
         save_fault_scenarios(results, args.json)
         print(f"results written to {args.json}")
+    _finish_trace(tracer, args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import write_span_jsonl
+
+    tracer = Tracer()
+    cfg = _config_from(args)
+    schemes = (["parallel", "distributed"] if args.scheme == "both"
+               else [args.scheme])
+    tasks = [ExecTask(cfg, scheme, use_cache=False, trace=True)
+             for scheme in schemes]
+    results = get_default_executor().run_tasks(tasks)
+    for result in results:
+        if result.spans:
+            tracer.extend(result.spans)
+        print(result.summary())
+        print()
+    print(flame_summary(tracer.records()))
+    if args.format == "chrome":
+        write_chrome_trace(tracer.records(), args.out)
+        note = "chrome trace-event format; load at https://ui.perfetto.dev"
+    elif args.format == "jsonl":
+        write_span_jsonl(tracer.records(), args.out)
+        note = "one span per line"
+    else:
+        from pathlib import Path
+
+        Path(args.out).write_text(flame_summary(tracer.records()) + "\n")
+        note = "text flame summary"
+    print(f"\n{tracer.record_count} spans written to {args.out} ({note})")
     return 0
 
 
@@ -331,6 +436,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"cache dir: {cache.cache_dir}")
     print(f"entries:   {cache.entry_count()}")
     print(f"bytes:     {cache.total_bytes()}")
+    lifetime = cache.lifetime_metrics()
+    if any(lifetime.values()):
+        print("lifetime executor metrics (all processes using this cache dir):")
+        for name in sorted(lifetime):
+            print(f"  {name}: {lifetime[name]}")
     return 0
 
 
@@ -376,6 +486,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
+        "trace": _cmd_trace,
         "figure": _cmd_figure,
         "cache": _cmd_cache,
     }

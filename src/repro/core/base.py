@@ -19,6 +19,7 @@ from ..distsys.comm import Message, MessageKind
 from ..distsys.events import LocalBalanceEvent
 from ..distsys.simulator import ClusterSimulator
 from ..distsys.system import DistributedSystem
+from ..obs import NULL_TRACER, Tracer
 from ..partition.mapping import GridAssignment
 from .gain import WorkloadHistory
 
@@ -39,6 +40,8 @@ class BalanceContext:
     sim_params: SimParams = field(default_factory=SimParams)
     scheme_params: SchemeParams = field(default_factory=SchemeParams)
     history: WorkloadHistory = field(default_factory=WorkloadHistory)
+    #: span sink for scheme-side instrumentation; disabled no-op by default
+    tracer: Tracer = field(default=NULL_TRACER)
 
 
 def execute_moves(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from ..obs import NULL_TRACER, Tracer
 from .comm import CommPhaseResult, Message, MessageKind, comm_phase_time
 from .events import (
     CommEvent,
@@ -58,9 +59,11 @@ class ClusterSimulator:
         system: DistributedSystem,
         log: Optional[EventLog] = None,
         fault_schedule=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.system = system
         self.log = log if log is not None else EventLog()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.clock = 0.0
         self.compute_time = 0.0
         self.comm_time = 0.0
@@ -107,28 +110,30 @@ class ClusterSimulator:
         phases that overlap them.  Returns the phase duration (max over
         processors of work / effective speed).
         """
-        start = self.clock
-        elapsed = 0.0
-        total = 0.0
-        speed_sum = 0.0
-        for pid, work in loads.items():
-            proc = self.system.processor(pid)
-            total += work
-            speed_sum += proc.effective_speed(start)
-            elapsed = max(elapsed, proc.execution_time(work, start))
-        self.clock += elapsed
-        self.compute_time += elapsed
-        self.log.record(
-            ComputeEvent(
-                time=self.clock,
-                level=level,
-                seq=seq,
-                elapsed=elapsed,
-                max_load=max(loads.values(), default=0.0),
-                total_load=total,
-                ideal_elapsed=(total / speed_sum) if speed_sum > 0.0 else 0.0,
+        with self.tracer.span("compute", level=level, seq=seq) as span:
+            start = self.clock
+            elapsed = 0.0
+            total = 0.0
+            speed_sum = 0.0
+            for pid, work in loads.items():
+                proc = self.system.processor(pid)
+                total += work
+                speed_sum += proc.effective_speed(start)
+                elapsed = max(elapsed, proc.execution_time(work, start))
+            self.clock += elapsed
+            self.compute_time += elapsed
+            self.log.record(
+                ComputeEvent(
+                    time=self.clock,
+                    level=level,
+                    seq=seq,
+                    elapsed=elapsed,
+                    max_load=max(loads.values(), default=0.0),
+                    total_load=total,
+                    ideal_elapsed=(total / speed_sum) if speed_sum > 0.0 else 0.0,
+                )
             )
-        )
+            span.set_attribute("total_load", total)
         self._observe_faults()
         return elapsed
 
@@ -149,32 +154,35 @@ class ClusterSimulator:
         attributes the elapsed time to :attr:`balance_overhead` (migration
         traffic) on top of the regular comm accounting.
         """
-        result = comm_phase_time(self.system, messages, self.clock)
-        self.clock += result.elapsed
-        self.comm_time += result.elapsed
-        self.local_comm_busy += result.local_time
-        self.remote_comm_busy += result.remote_time
-        self.comm_time_by_purpose[purpose] = (
-            self.comm_time_by_purpose.get(purpose, 0.0) + result.elapsed
-        )
-        for kind, nbytes in result.remote_bytes_by_kind.items():
-            self.remote_bytes_by_kind[kind] = (
-                self.remote_bytes_by_kind.get(kind, 0.0) + nbytes
+        with self.tracer.span("comm", level=level, purpose=purpose) as span:
+            result = comm_phase_time(self.system, messages, self.clock)
+            self.clock += result.elapsed
+            self.comm_time += result.elapsed
+            self.local_comm_busy += result.local_time
+            self.remote_comm_busy += result.remote_time
+            self.comm_time_by_purpose[purpose] = (
+                self.comm_time_by_purpose.get(purpose, 0.0) + result.elapsed
             )
-        if count_as_balance:
-            self.balance_overhead += result.elapsed
-        self.log.record(
-            CommEvent(
-                time=self.clock,
-                level=level,
-                purpose=purpose,
-                elapsed=result.elapsed,
-                local_time=result.local_time,
-                remote_time=result.remote_time,
-                local_bytes=result.local_bytes,
-                remote_bytes=result.remote_bytes,
+            for kind, nbytes in result.remote_bytes_by_kind.items():
+                self.remote_bytes_by_kind[kind] = (
+                    self.remote_bytes_by_kind.get(kind, 0.0) + nbytes
+                )
+            if count_as_balance:
+                self.balance_overhead += result.elapsed
+            self.log.record(
+                CommEvent(
+                    time=self.clock,
+                    level=level,
+                    purpose=purpose,
+                    elapsed=result.elapsed,
+                    local_time=result.local_time,
+                    remote_time=result.remote_time,
+                    local_bytes=result.local_bytes,
+                    remote_bytes=result.remote_bytes,
+                )
             )
-        )
+            span.set_attributes(local_bytes=result.local_bytes,
+                                remote_bytes=result.remote_bytes)
         self._observe_faults()
         return result
 
@@ -192,28 +200,30 @@ class ClusterSimulator:
         have changed* by the time a migration runs -- that gap is inherent
         to the paper's method and is measured by the cost-model ablation.
         """
-        link = self.system.inter_link(group_a, group_b)
-        t_small = link.transfer_time(PROBE_SMALL_BYTES, self.clock)
-        t_large = link.transfer_time(PROBE_LARGE_BYTES, self.clock)
-        beta = (t_large - t_small) / (PROBE_LARGE_BYTES - PROBE_SMALL_BYTES)
-        alpha = t_small - beta * PROBE_SMALL_BYTES
-        elapsed = t_small + t_large
-        self.clock += elapsed
-        self.comm_time += elapsed
-        self.probe_time += elapsed
-        self.comm_time_by_purpose["probe"] = (
-            self.comm_time_by_purpose.get("probe", 0.0) + elapsed
-        )
-        self.log.record(
-            ProbeEvent(
-                time=self.clock,
-                group_a=group_a,
-                group_b=group_b,
-                alpha_estimate=alpha,
-                beta_estimate=beta,
-                elapsed=elapsed,
+        with self.tracer.span("probe", group_a=group_a, group_b=group_b) as span:
+            link = self.system.inter_link(group_a, group_b)
+            t_small = link.transfer_time(PROBE_SMALL_BYTES, self.clock)
+            t_large = link.transfer_time(PROBE_LARGE_BYTES, self.clock)
+            beta = (t_large - t_small) / (PROBE_LARGE_BYTES - PROBE_SMALL_BYTES)
+            alpha = t_small - beta * PROBE_SMALL_BYTES
+            elapsed = t_small + t_large
+            self.clock += elapsed
+            self.comm_time += elapsed
+            self.probe_time += elapsed
+            self.comm_time_by_purpose["probe"] = (
+                self.comm_time_by_purpose.get("probe", 0.0) + elapsed
             )
-        )
+            self.log.record(
+                ProbeEvent(
+                    time=self.clock,
+                    group_a=group_a,
+                    group_b=group_b,
+                    alpha_estimate=alpha,
+                    beta_estimate=beta,
+                    elapsed=elapsed,
+                )
+            )
+            span.set_attributes(alpha=alpha, beta=beta)
         self._observe_faults()
         return alpha, beta
 

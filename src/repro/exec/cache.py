@@ -112,6 +112,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: counters already folded into the on-disk metrics file
+        self._flushed = {"exec.cache_hits": 0, "exec.cache_misses": 0,
+                         "exec.cache_stores": 0}
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
@@ -151,12 +154,17 @@ class ResultCache:
 
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        run = run_result_to_dict(result)
+        # observability payloads are per-execution artifacts, not part of
+        # the content-addressed result: dropping them keeps cache hits
+        # bit-identical to fresh untraced runs
+        run.pop("metrics", None)
         payload = {
             "format": CACHE_SCHEMA_VERSION,
             "kind": "cache-entry",
             "key": key,
             "salt": CODE_VERSION_SALT,
-            "run": run_result_to_dict(result),
+            "run": run,
         }
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -186,3 +194,61 @@ class ResultCache:
                 p.unlink()
                 removed += 1
         return removed
+
+    # -- lifetime metrics -------------------------------------------------
+
+    @property
+    def _metrics_path(self) -> Path:
+        # lives at the cache root, outside the */*.json entry layout, so
+        # entry_count/total_bytes/clear never see it
+        return self.cache_dir / "metrics.json"
+
+    def lifetime_metrics(self) -> Dict[str, int]:
+        """Cumulative ``exec.cache_*`` counters across every process that
+        used this cache directory (unflushed activity of *this* object
+        included)."""
+        totals = self._read_metrics_file()
+        totals["exec.cache_hits"] += self.hits - self._flushed["exec.cache_hits"]
+        totals["exec.cache_misses"] += self.misses - self._flushed["exec.cache_misses"]
+        totals["exec.cache_stores"] += self.stores - self._flushed["exec.cache_stores"]
+        return totals
+
+    def _read_metrics_file(self) -> Dict[str, int]:
+        try:
+            data = json.loads(self._metrics_path.read_text())
+            counters = data.get("counters", {})
+        except (OSError, ValueError, AttributeError):
+            counters = {}
+        return {
+            name: int(counters.get(name, 0))
+            for name in ("exec.cache_hits", "exec.cache_misses",
+                         "exec.cache_stores")
+        }
+
+    def flush_metrics(self) -> None:
+        """Fold activity since the last flush into the on-disk counters.
+
+        Best-effort (a read-only cache directory must not fail the run);
+        concurrent writers may lose increments, never corrupt the file.
+        """
+        deltas = {
+            "exec.cache_hits": self.hits - self._flushed["exec.cache_hits"],
+            "exec.cache_misses": self.misses - self._flushed["exec.cache_misses"],
+            "exec.cache_stores": self.stores - self._flushed["exec.cache_stores"],
+        }
+        if not any(deltas.values()):
+            return
+        totals = self._read_metrics_file()
+        for name, delta in deltas.items():
+            totals[name] += delta
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self._metrics_path.with_suffix(".tmp")
+            tmp.write_text(json.dumps({"counters": totals}, indent=2,
+                                      sort_keys=True))
+            os.replace(tmp, self._metrics_path)
+        except OSError:
+            return
+        self._flushed = {"exec.cache_hits": self.hits,
+                         "exec.cache_misses": self.misses,
+                         "exec.cache_stores": self.stores}

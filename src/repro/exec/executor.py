@@ -46,11 +46,18 @@ class ExecTask:
     ``use_cache=False`` when the consumer needs the full event log -- cached
     results carry ``events=None`` -- the task then always executes, though
     its (event-stripped) result is still stored for other consumers.
+
+    ``trace=True`` runs the task under a fresh enabled
+    :class:`~repro.obs.Tracer` (in-process or inside a pool worker) and
+    attaches the finished spans to ``result.spans``.  Traced tasks never
+    read the cache (cached results carry no spans), though their
+    span-stripped results are still stored.
     """
 
     config: Any
     scheme: str
     use_cache: bool = True
+    trace: bool = False
 
     @property
     def label(self) -> str:
@@ -69,7 +76,13 @@ def _execute_task(task: ExecTask) -> Tuple[Any, float, float]:
     from ..harness.experiment import execute_scheme
 
     start = time.monotonic()
-    result = execute_scheme(task.config, task.scheme)
+    if task.trace:
+        from ..obs import Tracer
+
+        tracer = Tracer(track=task.label)
+        result = execute_scheme(task.config, task.scheme, tracer=tracer)
+    else:
+        result = execute_scheme(task.config, task.scheme)
     return result, start, time.monotonic() - start
 
 
@@ -177,7 +190,7 @@ class Executor:
         for i, task in enumerate(tasks):
             if self.cache is not None:
                 keys[i] = task_key(task.config, task.scheme)
-            if self.cache is not None and task.use_cache:
+            if self.cache is not None and task.use_cache and not task.trace:
                 hit = self.cache.get(keys[i])
                 if hit is not None:
                     results[i] = hit
@@ -192,14 +205,30 @@ class Executor:
             )
             if self.cache is not None:
                 self.cache.put(keys[i], result)
-        self.batches.append(
-            ExecStats(
-                jobs=self.jobs,
-                elapsed_seconds=time.perf_counter() - t0,
-                tasks=[s for s in stats if s is not None],
-            )
+        batch = ExecStats(
+            jobs=self.jobs,
+            elapsed_seconds=time.perf_counter() - t0,
+            tasks=[s for s in stats if s is not None],
         )
+        self.batches.append(batch)
+        self._record_metrics(batch)
         return results
+
+    def _record_metrics(self, batch: ExecStats) -> None:
+        """Fold the batch into the process-wide ``exec.*`` metric series
+        and persist the cache's lifetime counters."""
+        from ..obs import get_default_metrics
+
+        reg = get_default_metrics()
+        reg.counter("exec.tasks").inc(batch.ntasks)
+        reg.counter("exec.cache_hits").inc(batch.cache_hits)
+        reg.counter("exec.cache_misses").inc(batch.cache_misses)
+        reg.histogram("exec.batch_elapsed_seconds").observe(batch.elapsed_seconds)
+        for t in batch.tasks:
+            if not t.cached:
+                reg.histogram("exec.task_wall_seconds").observe(t.wall_seconds)
+        if self.cache is not None:
+            self.cache.flush_metrics()
 
     @property
     def last_stats(self) -> Optional[ExecStats]:

@@ -1,0 +1,57 @@
+"""Shims for the pre-``repro.api`` positional call forms.
+
+The harness entry points were unified to one keyword shape --
+``run_*(config, *, executor=None, tracer=None, seed=None, ...)`` -- but
+older code called them with trailing positional arguments
+(``run_paired(cfg, True)``, ``run_sweep(cfg, (1, 2))``, ...).  Those
+forms still work through :func:`apply_legacy_positionals`, at the price
+of a :class:`DeprecationWarning` naming the keyword to use instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Sequence, Tuple
+
+__all__ = ["apply_legacy_positionals"]
+
+
+def apply_legacy_positionals(
+    func_name: str,
+    names: Sequence[str],
+    values: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    defaults: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Map legacy positional ``values`` onto keyword ``names``.
+
+    ``kwargs`` holds each keyword's *current* value and ``defaults`` its
+    declared default; a current value that differs from its default means
+    the caller passed that keyword explicitly, so mapping a positional onto
+    it raises :class:`TypeError` ("multiple values"), mirroring what a real
+    signature would do.  Too many positionals raise as well.  Returns
+    ``kwargs`` updated with the mapped values.
+    """
+    if not values:
+        return kwargs
+    if len(values) > len(names):
+        raise TypeError(
+            f"{func_name}() takes at most {1 + len(names)} positional "
+            f"arguments ({1 + len(values)} given)"
+        )
+    mapped = names[: len(values)]
+    warnings.warn(
+        f"passing {', '.join(mapped)!s} to {func_name}() positionally is "
+        f"deprecated; use keyword arguments "
+        f"({', '.join(f'{n}=...' for n in mapped)})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(mapped, values):
+        current, default = kwargs[name], defaults[name]
+        if not (current is default or current == default):
+            raise TypeError(
+                f"{func_name}() got multiple values for argument {name!r}"
+            )
+        kwargs[name] = value
+    return kwargs

@@ -10,6 +10,7 @@ the two executions would have the similar network environments."
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -37,6 +38,7 @@ from ..faults import (
     SlowdownFault,
 )
 from ..metrics.timing import RunResult
+from ..obs import MetricsRegistry, Tracer
 from ..runtime import SAMRRunner
 
 __all__ = ["ExperimentConfig", "make_app", "make_system", "make_traffic",
@@ -215,17 +217,79 @@ def make_scheme(scheme_name: str) -> DLBScheme:
     raise ValueError(f"unknown scheme {scheme_name!r}")
 
 
-def run_experiment(cfg: ExperimentConfig, scheme_name: str) -> RunResult:
-    """Execute one (config, scheme) run and return its result."""
+def _apply_seed(cfg: ExperimentConfig, seed: Optional[int]) -> ExperimentConfig:
+    """``seed`` overrides the config's traffic seed (the one stochastic
+    input of a run); ``None`` leaves the config untouched."""
+    if seed is None:
+        return cfg
+    return replace(cfg, traffic_seed=int(seed))
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    scheme: Optional[str] = None,
+    *,
+    executor=None,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
+    scheme_name: Optional[str] = None,
+) -> RunResult:
+    """Execute one (config, scheme) run and return its result.
+
+    Parameters
+    ----------
+    config / scheme:
+        What to run: the pinned experiment and the DLB policy
+        (``"distributed"`` by default; also ``"parallel"``, ``"static"``).
+    executor:
+        Optional :class:`repro.exec.Executor` to submit through (cache +
+        worker pool); ``None`` runs in-process.
+    tracer:
+        Optional enabled :class:`~repro.obs.Tracer`.  The run is traced
+        (spans + a metrics snapshot land on the result, and the spans are
+        merged into ``tracer``); traced runs never come from the cache.
+        ``None`` is the zero-cost path -- results are bit-identical to an
+        un-instrumented run.
+    seed:
+        Optional traffic-seed override (see :func:`ExperimentConfig`).
+    """
+    if scheme_name is not None:
+        warnings.warn(
+            "run_experiment(scheme_name=...) is deprecated; "
+            "use run_experiment(config, scheme)",
+            DeprecationWarning, stacklevel=2,
+        )
+        if scheme is not None:
+            raise TypeError("pass either scheme or scheme_name, not both")
+        scheme = scheme_name
+    if scheme is None:
+        scheme = "distributed"
+    cfg = _apply_seed(config, seed)
+    if executor is not None:
+        from ..exec import ExecTask
+
+        task = ExecTask(cfg, scheme, use_cache=tracer is None,
+                        trace=tracer is not None)
+        result = executor.run_tasks([task])[0]
+        if tracer is not None and result.spans:
+            tracer.extend(result.spans)
+        return result
+    metrics = MetricsRegistry() if tracer is not None else None
+    start_count = tracer.record_count if tracer is not None else 0
     runner = SAMRRunner(
         make_app(cfg),
         make_system(cfg),
-        make_scheme(scheme_name),
+        make_scheme(scheme),
         sim_params=cfg.sim_params,
         scheme_params=cfg.effective_scheme_params(),
         fault_schedule=make_faults(cfg),
+        tracer=tracer,
+        metrics=metrics,
     )
-    return runner.run(cfg.steps)
+    result = runner.run(cfg.steps)
+    if tracer is not None:
+        result.spans = tracer.records()[start_count:]
+    return result
 
 
 def sequential_config(cfg: ExperimentConfig) -> ExperimentConfig:
@@ -242,31 +306,49 @@ def sequential_config(cfg: ExperimentConfig) -> ExperimentConfig:
                    fault=None)
 
 
-def execute_scheme(cfg: ExperimentConfig, scheme_name: str) -> RunResult:
+def execute_scheme(
+    config: ExperimentConfig,
+    scheme: str,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
     """Task dispatcher for :mod:`repro.exec` workers.
 
-    ``scheme_name`` is a real scheme (``"parallel"``, ``"distributed"``,
+    ``scheme`` is a real scheme (``"parallel"``, ``"distributed"``,
     ``"static"``) or the pseudo-scheme ``"sequential"`` for the ``E(1)``
     reference.
     """
-    if scheme_name == "sequential":
-        return run_sequential(cfg)
-    return run_experiment(cfg, scheme_name)
+    if scheme == "sequential":
+        return run_sequential(config, tracer=tracer)
+    return run_experiment(config, scheme, tracer=tracer)
 
 
-def run_sequential(cfg: ExperimentConfig) -> RunResult:
+def run_sequential(
+    config: ExperimentConfig,
+    *,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
+) -> RunResult:
     """The ``E(1)`` reference: the same workload on one processor.
 
     One processor, no network: every grid lives on pid 0, so communication
     and balancing vanish and the total time is pure compute -- the paper's
     "sequential execution time on one processor".
     """
+    cfg = _apply_seed(config, seed)
     seq_cfg = replace(cfg, network="parallel")
+    metrics = MetricsRegistry() if tracer is not None else None
+    start_count = tracer.record_count if tracer is not None else 0
     runner = SAMRRunner(
         make_app(seq_cfg),
         parallel_system(1, base_speed=cfg.base_speed),
         ParallelDLB(),
         sim_params=cfg.sim_params,
         scheme_params=cfg.effective_scheme_params(),
+        tracer=tracer,
+        metrics=metrics,
     )
-    return runner.run(cfg.steps)
+    result = runner.run(cfg.steps)
+    if tracer is not None:
+        result.spans = tracer.records()[start_count:]
+    return result

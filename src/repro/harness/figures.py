@@ -443,7 +443,8 @@ def fig7_execution_time(
     network = "lan" if app_name == "amr64" else "wan"
     base = ExperimentConfig(app_name=app_name, network=network, steps=steps,
                             traffic_level=traffic_level)
-    sweep = run_sweep(base, configs, with_sequential=with_sequential)
+    sweep = run_sweep(base, procs_per_group=configs,
+                      with_sequential=with_sequential)
     (paper_range, paper_avg) = PAPER_FIG7.get(app_name, ((0.0, 1.0), 0.0))
     return Fig7Result(
         app=app_name, network=network, sweep=sweep,
@@ -511,7 +512,7 @@ def fig8_efficiency(
     network = "lan" if app_name == "amr64" else "wan"
     base = ExperimentConfig(app_name=app_name, network=network, steps=steps,
                             traffic_level=traffic_level)
-    sweep = run_sweep(base, configs, with_sequential=True)
+    sweep = run_sweep(base, procs_per_group=configs, with_sequential=True)
     return Fig8Result(
         app=app_name, network=network, sweep=sweep,
         paper_range=PAPER_FIG8.get(app_name, (0.0, 1.0)),

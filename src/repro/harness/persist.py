@@ -63,6 +63,10 @@ def run_result_to_dict(result: RunResult) -> Dict:
             name = type(e).__name__
             counts[name] = counts.get(name, 0) + 1
         out["event_counts"] = counts
+    # the metrics snapshot is already JSON-safe; spans are not persisted
+    # here (export them with repro.obs.write_chrome_trace / write_span_jsonl)
+    if result.metrics is not None:
+        out["metrics"] = result.metrics
     return out
 
 
@@ -79,6 +83,7 @@ def run_result_from_dict(data: Dict) -> RunResult:
     }
     # added after format version 1 files were first written; default for old files
     fields["faults"] = data.get("faults", 0)
+    fields["metrics"] = data.get("metrics")
     return RunResult(events=None, **fields)
 
 

@@ -14,8 +14,10 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from ..exec import ExecStats, ExecTask, Executor, get_default_executor
+from ..obs import Tracer
+from .deprecation import apply_legacy_positionals
 from .experiment import ExperimentConfig
-from .sweep import PairedResult
+from .sweep import PairedResult, _collect_spans
 
 __all__ = ["ReplicatedResult", "replicate"]
 
@@ -72,10 +74,13 @@ class ReplicatedResult:
 
 
 def replicate(
-    cfg: ExperimentConfig,
-    seeds: Sequence[int] = (1, 2, 3),
+    config: ExperimentConfig,
+    *legacy,
+    seeds: Optional[Sequence[int]] = None,
     traffic_kind: str = "bursty",
     executor: Optional[Executor] = None,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
 ) -> ReplicatedResult:
     """Run the paired experiment once per traffic seed.
 
@@ -83,19 +88,36 @@ def replicate(
     vary between replicates; with constant traffic every replicate is
     identical (the simulation itself is deterministic).  All replicates are
     submitted as one executor batch, so a parallel executor overlaps them.
+
+    ``seeds`` lists the traffic seeds explicitly; when it is omitted,
+    ``seed`` anchors a run of three consecutive seeds (``seed``,
+    ``seed + 1``, ``seed + 2``), and with neither given the historical
+    default ``(1, 2, 3)`` applies.
     """
-    if not seeds:
+    kwargs = apply_legacy_positionals(
+        "replicate", ("seeds", "traffic_kind", "executor"), legacy,
+        {"seeds": seeds, "traffic_kind": traffic_kind, "executor": executor},
+        {"seeds": None, "traffic_kind": "bursty", "executor": None},
+    )
+    seeds, traffic_kind = kwargs["seeds"], kwargs["traffic_kind"]
+    executor = kwargs["executor"]
+    if seeds is None:
+        seeds = (seed, seed + 1, seed + 2) if seed is not None else (1, 2, 3)
+    elif not seeds:
         raise ValueError("seeds must be non-empty")
+    cfg = config
     ex = executor if executor is not None else get_default_executor()
+    trace = tracer is not None
     configs = [
-        replace(cfg, traffic_kind=traffic_kind, traffic_seed=int(seed))
-        for seed in seeds
+        replace(cfg, traffic_kind=traffic_kind, traffic_seed=int(s))
+        for s in seeds
     ]
     tasks: List[ExecTask] = []
     for run_cfg in configs:
-        tasks.append(ExecTask(run_cfg, "parallel"))
-        tasks.append(ExecTask(run_cfg, "distributed"))
+        tasks.append(ExecTask(run_cfg, "parallel", use_cache=not trace, trace=trace))
+        tasks.append(ExecTask(run_cfg, "distributed", use_cache=not trace, trace=trace))
     results = ex.run_tasks(tasks)
+    _collect_spans(tracer, results)
     pairs = [
         PairedResult(config=run_cfg, parallel=results[2 * i],
                      distributed=results[2 * i + 1])

@@ -23,7 +23,18 @@ from ..config import FaultParams
 from ..exec import ExecStats, ExecTask, Executor, get_default_executor
 from ..metrics.efficiency import efficiency
 from ..metrics.timing import RunResult
-from .experiment import ExperimentConfig, sequential_config
+from ..obs import Tracer
+from .deprecation import apply_legacy_positionals
+from .experiment import ExperimentConfig, _apply_seed, sequential_config
+
+
+def _collect_spans(tracer: Optional[Tracer], results: Sequence[RunResult]) -> None:
+    """Merge the spans traced task results carry into the caller's tracer."""
+    if tracer is None:
+        return
+    for r in results:
+        if r is not None and getattr(r, "spans", None):
+            tracer.extend(r.spans)
 
 __all__ = ["PairedResult", "SweepResult", "run_paired", "run_sweep",
            "run_fault_scenarios", "PAPER_CONFIGS", "FAULT_SWEEP_SCENARIOS"]
@@ -96,16 +107,36 @@ class SweepResult:
 
 
 def run_paired(
-    cfg: ExperimentConfig,
+    config: ExperimentConfig,
+    *legacy,
     with_sequential: bool = False,
     executor: Optional[Executor] = None,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
 ) -> PairedResult:
-    """Run parallel DLB then distributed DLB on one pinned configuration."""
+    """Run parallel DLB then distributed DLB on one pinned configuration.
+
+    All options are keyword-only: ``with_sequential`` adds the ``E(1)``
+    reference run, ``executor`` overrides the default execution engine,
+    ``tracer`` traces every run (spans merged into it, one track per run),
+    and ``seed`` overrides the config's traffic seed.
+    """
+    kwargs = apply_legacy_positionals(
+        "run_paired", ("with_sequential", "executor"), legacy,
+        {"with_sequential": with_sequential, "executor": executor},
+        {"with_sequential": False, "executor": None},
+    )
+    with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
+    cfg = _apply_seed(config, seed)
     ex = executor if executor is not None else get_default_executor()
-    tasks = [ExecTask(cfg, "parallel"), ExecTask(cfg, "distributed")]
+    trace = tracer is not None
+    tasks = [ExecTask(cfg, "parallel", use_cache=not trace, trace=trace),
+             ExecTask(cfg, "distributed", use_cache=not trace, trace=trace)]
     if with_sequential:
-        tasks.append(ExecTask(sequential_config(cfg), "sequential"))
+        tasks.append(ExecTask(sequential_config(cfg), "sequential",
+                              use_cache=not trace, trace=trace))
     results = ex.run_tasks(tasks)
+    _collect_spans(tracer, results)
     return PairedResult(
         config=cfg,
         parallel=results[0],
@@ -115,10 +146,13 @@ def run_paired(
 
 
 def run_sweep(
-    base: ExperimentConfig,
+    config: ExperimentConfig,
+    *legacy,
     procs_per_group: Sequence[int] = PAPER_CONFIGS,
     with_sequential: bool = False,
     executor: Optional[Executor] = None,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
 ) -> SweepResult:
     """Run the paired experiment over a series of configurations.
 
@@ -127,15 +161,29 @@ def run_sweep(
     -- sequential reference plus both schemes of every configuration -- is
     submitted as one batch, so a parallel executor overlaps everything.
     """
+    kwargs = apply_legacy_positionals(
+        "run_sweep", ("procs_per_group", "with_sequential", "executor"),
+        legacy,
+        {"procs_per_group": procs_per_group,
+         "with_sequential": with_sequential, "executor": executor},
+        {"procs_per_group": PAPER_CONFIGS,
+         "with_sequential": False, "executor": None},
+    )
+    procs_per_group = kwargs["procs_per_group"]
+    with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
+    base = _apply_seed(config, seed)
     ex = executor if executor is not None else get_default_executor()
+    trace = tracer is not None
     tasks: List[ExecTask] = []
     if with_sequential:
-        tasks.append(ExecTask(sequential_config(base), "sequential"))
+        tasks.append(ExecTask(sequential_config(base), "sequential",
+                              use_cache=not trace, trace=trace))
     configs = [replace(base, procs_per_group=n) for n in procs_per_group]
     for cfg in configs:
-        tasks.append(ExecTask(cfg, "parallel"))
-        tasks.append(ExecTask(cfg, "distributed"))
+        tasks.append(ExecTask(cfg, "parallel", use_cache=not trace, trace=trace))
+        tasks.append(ExecTask(cfg, "distributed", use_cache=not trace, trace=trace))
     results = ex.run_tasks(tasks)
+    _collect_spans(tracer, results)
     seq = results[0] if with_sequential else None
     offset = 1 if with_sequential else 0
     pairs = [
@@ -151,10 +199,13 @@ def run_sweep(
 
 
 def run_fault_scenarios(
-    base: ExperimentConfig,
+    config: ExperimentConfig,
+    *legacy,
     scenarios: Sequence[str] = FAULT_SWEEP_SCENARIOS,
     executor: Optional[Executor] = None,
     need_events: bool = True,
+    tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
 ) -> Dict[str, PairedResult]:
     """Paired runs of one configuration across fault scenarios.
 
@@ -169,17 +220,31 @@ def run_fault_scenarios(
     metrics are computed from events); pass ``False`` when only the timing
     totals matter and cache hits are welcome.
     """
+    kwargs = apply_legacy_positionals(
+        "run_fault_scenarios", ("scenarios", "executor", "need_events"),
+        legacy,
+        {"scenarios": scenarios, "executor": executor,
+         "need_events": need_events},
+        {"scenarios": FAULT_SWEEP_SCENARIOS, "executor": None,
+         "need_events": True},
+    )
+    scenarios, executor = kwargs["scenarios"], kwargs["executor"]
+    need_events = kwargs["need_events"]
+    base = _apply_seed(config, seed)
     template = base.fault if base.fault is not None else FaultParams()
     ex = executor if executor is not None else get_default_executor()
+    trace = tracer is not None
     configs: List[ExperimentConfig] = []
     tasks: List[ExecTask] = []
     for scenario in scenarios:
         fault = None if scenario == "none" else replace(template, scenario=scenario)
         cfg = replace(base, fault=fault)
         configs.append(cfg)
-        tasks.append(ExecTask(cfg, "parallel"))
-        tasks.append(ExecTask(cfg, "distributed", use_cache=not need_events))
+        tasks.append(ExecTask(cfg, "parallel", use_cache=not trace, trace=trace))
+        tasks.append(ExecTask(cfg, "distributed",
+                              use_cache=not (need_events or trace), trace=trace))
     results = ex.run_tasks(tasks)
+    _collect_spans(tracer, results)
     out: Dict[str, PairedResult] = {}
     for i, scenario in enumerate(scenarios):
         out[scenario] = PairedResult(

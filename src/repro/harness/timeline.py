@@ -24,6 +24,36 @@ from .report import format_table
 __all__ = ["step_timeline", "render_step_timeline", "render_event_listing"]
 
 
+def _accumulate(step: float, events) -> Dict[str, float]:
+    acc = {
+        "step": step,
+        "compute": 0.0,
+        "ghost_comm": 0.0,
+        "balance_comm": 0.0,
+        "probe": 0.0,
+        "regrids": 0.0,
+        "local_balances": 0.0,
+        "redistributed_grids": 0.0,
+    }
+    for e in events:
+        if isinstance(e, ComputeEvent):
+            acc["compute"] += e.elapsed
+        elif isinstance(e, CommEvent):
+            if e.purpose == "ghost":
+                acc["ghost_comm"] += e.elapsed
+            else:
+                acc["balance_comm"] += e.elapsed
+        elif isinstance(e, ProbeEvent):
+            acc["probe"] += e.elapsed
+        elif isinstance(e, RegridEvent):
+            acc["regrids"] += 1
+        elif isinstance(e, LocalBalanceEvent):
+            acc["local_balances"] += 1
+        elif isinstance(e, RedistributionEvent):
+            acc["redistributed_grids"] += e.moved_grids
+    return acc
+
+
 def step_timeline(log: EventLog) -> List[Dict[str, float]]:
     """Per-coarse-step activity summary.
 
@@ -31,49 +61,31 @@ def step_timeline(log: EventLog) -> List[Dict[str, float]]:
     is logged at each level-0 boundary).  Returns one dict per step with the
     accumulated ``compute``, ``ghost_comm``, ``balance_comm``, ``probe``
     durations plus counters.
+
+    Activity logged *before* the first boundary (initial regrid, schemes
+    that skip the decision on step 0, or schemes that never log one) is
+    reported in an explicit ``step == -1.0`` "init" row rather than
+    silently dropped; with no boundaries at all, that one row carries the
+    whole log.
     """
     boundaries = [i for i, e in enumerate(log) if isinstance(e, GlobalDecisionEvent)]
     events = list(log)
-    if not boundaries:
-        boundaries = [0]
     steps: List[Dict[str, float]] = []
+    first = boundaries[0] if boundaries else len(events)
+    if first > 0:
+        steps.append(_accumulate(-1.0, events[:first]))
     for si, start in enumerate(boundaries):
         stop = boundaries[si + 1] if si + 1 < len(boundaries) else len(events)
-        acc = {
-            "step": float(si),
-            "compute": 0.0,
-            "ghost_comm": 0.0,
-            "balance_comm": 0.0,
-            "probe": 0.0,
-            "regrids": 0.0,
-            "local_balances": 0.0,
-            "redistributed_grids": 0.0,
-        }
-        for e in events[start:stop]:
-            if isinstance(e, ComputeEvent):
-                acc["compute"] += e.elapsed
-            elif isinstance(e, CommEvent):
-                if e.purpose == "ghost":
-                    acc["ghost_comm"] += e.elapsed
-                else:
-                    acc["balance_comm"] += e.elapsed
-            elif isinstance(e, ProbeEvent):
-                acc["probe"] += e.elapsed
-            elif isinstance(e, RegridEvent):
-                acc["regrids"] += 1
-            elif isinstance(e, LocalBalanceEvent):
-                acc["local_balances"] += 1
-            elif isinstance(e, RedistributionEvent):
-                acc["redistributed_grids"] += e.moved_grids
-        steps.append(acc)
+        steps.append(_accumulate(float(si), events[start:stop]))
     return steps
 
 
 def render_step_timeline(log: EventLog) -> str:
-    """ASCII table of :func:`step_timeline`."""
+    """ASCII table of :func:`step_timeline` (the pre-boundary row, if any,
+    is labelled ``init``)."""
     rows = [
         (
-            int(s["step"]),
+            "init" if s["step"] < 0 else int(s["step"]),
             s["compute"],
             s["ghost_comm"],
             s["balance_comm"],

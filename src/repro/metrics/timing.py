@@ -9,7 +9,7 @@ overhead the gain/cost gate tries to keep profitable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..distsys.events import EventLog
 
@@ -46,6 +46,13 @@ class RunResult:
     #: fault-window boundaries observed during the run (0 when no schedule)
     faults: int = 0
     events: Optional[EventLog] = None
+    #: finished trace spans (:class:`~repro.obs.SpanRecord`); ``None`` unless
+    #: the run was traced -- the untraced result is bit-identical to the
+    #: pre-observability seed path
+    spans: Optional[List[Any]] = None
+    #: :meth:`~repro.obs.MetricsRegistry.snapshot` taken at run end;
+    #: ``None`` unless the run was traced / given a registry
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def comm_fraction(self) -> float:

@@ -1,0 +1,62 @@
+"""Observability layer: span tracing, metrics, trace export.
+
+``repro.obs`` is the subsystem the rest of the stack reports into:
+
+* :class:`Tracer` -- nestable spans over the simulated *and* host clocks,
+  zero-cost when disabled (the :data:`NULL_TRACER` default).  The runtime
+  opens spans around every phase it simulates (``solve``, ``compute``,
+  ``comm``, ``regrid``, ``local_balance``, ``global_balance``, ``probe``),
+  and the global-balance span carries the decision's ``gain`` / ``cost`` /
+  ``redistributed`` attributes.
+* :class:`MetricsRegistry` -- labeled counters / gauges / histograms
+  (``dlb.gain``, ``dlb.cost``, ``dlb.redistributions``,
+  ``comm.remote_bytes``, ``exec.cache_hits``, ...) with a JSON-safe
+  :meth:`~MetricsRegistry.snapshot` that traced
+  :class:`~repro.metrics.timing.RunResult`\\ s carry.
+* exporters -- Chrome trace-event JSON (:func:`write_chrome_trace`, loads
+  in Perfetto / ``chrome://tracing``), JSONL span logs
+  (:func:`write_span_jsonl`) and an aggregate text flame view
+  (:func:`flame_summary`), plus the :func:`validate_chrome_trace` schema
+  check used by tests and CI.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from .export import (
+    chrome_trace,
+    flame_summary,
+    span_jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_metrics,
+    series_name,
+    set_default_metrics,
+)
+from .tracer import NULL_TRACER, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_default_metrics",
+    "set_default_metrics",
+    "series_name",
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_jsonl_lines",
+    "write_span_jsonl",
+    "flame_summary",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,234 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL span logs, flame text.
+
+The Chrome exporter emits the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+"X" (complete) events over the **simulated** clock, one trace *process*
+per span track, so a paired run renders as two stacked timelines in
+Perfetto / ``chrome://tracing``.  The host wall-clock duration of every
+span rides along in ``args.wall_ms``.
+
+:func:`validate_chrome_trace` is the schema check shared by the test
+suite and the CI trace-smoke job: it returns a list of problems (empty
+for a valid payload) instead of raising, so callers can report them all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .tracer import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_jsonl_lines",
+    "write_span_jsonl",
+    "flame_summary",
+    "validate_chrome_trace",
+]
+
+#: simulated seconds -> trace-event microseconds
+_US = 1.0e6
+
+
+def _track_pids(records: Sequence[SpanRecord]) -> Dict[str, int]:
+    """Stable track -> pid mapping (first-appearance order)."""
+    pids: Dict[str, int] = {}
+    for r in records:
+        if r.track not in pids:
+            pids[r.track] = len(pids) + 1
+    return pids
+
+
+def chrome_trace(records: Sequence[SpanRecord],
+                 metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a Chrome trace-event payload from finished spans.
+
+    Every span becomes one complete ("X") event with its simulated start
+    as ``ts`` and simulated duration as ``dur`` (microseconds); process
+    metadata events name each track.  ``metadata`` lands under the
+    payload's ``otherData``.
+    """
+    pids = _track_pids(records)
+    events: List[Dict[str, Any]] = []
+    for track, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": track},
+            }
+        )
+    for r in records:
+        args = dict(r.attrs)
+        args["wall_ms"] = (r.wall_end - r.wall_start) * 1e3
+        events.append(
+            {
+                "name": r.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": r.sim_start * _US,
+                "dur": max(0.0, (r.sim_end - r.sim_start) * _US),
+                "pid": pids[r.track],
+                "tid": 0,
+                "args": args,
+            }
+        )
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated-seconds", **(metadata or {})},
+    }
+    return payload
+
+
+def write_chrome_trace(records: Sequence[SpanRecord],
+                       path: Union[str, Path],
+                       metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(records, metadata), indent=2))
+    return path
+
+
+def span_jsonl_lines(records: Sequence[SpanRecord]) -> Iterable[str]:
+    """One JSON object per span, in completion order."""
+    for r in records:
+        yield json.dumps(r.to_dict(), sort_keys=True)
+
+
+def write_span_jsonl(records: Sequence[SpanRecord],
+                     path: Union[str, Path]) -> Path:
+    """Write the JSONL span log to ``path``; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for line in span_jsonl_lines(records):
+            fh.write(line + "\n")
+    return path
+
+
+def _span_paths(records: Sequence[SpanRecord]) -> List[Tuple[Tuple[str, ...], SpanRecord]]:
+    """Resolve each record's name path (track, root, ..., leaf).
+
+    Span ids are only unique within a track, so parents are looked up per
+    track.  Orphaned parents (merged partial traces) fall back to the
+    track root.
+    """
+    by_id: Dict[Tuple[str, int], SpanRecord] = {
+        (r.track, r.span_id): r for r in records
+    }
+    out = []
+    for r in records:
+        names = [r.name]
+        cur = r
+        while cur.parent_id is not None:
+            parent = by_id.get((cur.track, cur.parent_id))
+            if parent is None:
+                break
+            names.append(parent.name)
+            cur = parent
+        names.append(r.track)
+        out.append((tuple(reversed(names)), r))
+    return out
+
+
+def flame_summary(records: Sequence[SpanRecord], clock: str = "sim") -> str:
+    """Aggregate text flame view: total/self time and call counts per path.
+
+    ``clock`` selects ``"sim"`` (simulated seconds, the default) or
+    ``"wall"`` (host seconds).  Paths are indented by depth; siblings are
+    ordered by total time, descending.
+    """
+    if clock not in ("sim", "wall"):
+        raise ValueError(f"clock must be 'sim' or 'wall', got {clock!r}")
+
+    def duration(r: SpanRecord) -> float:
+        return r.sim_elapsed if clock == "sim" else r.wall_elapsed
+
+    totals: Dict[Tuple[str, ...], float] = {}
+    counts: Dict[Tuple[str, ...], int] = {}
+    for path, r in _span_paths(records):
+        totals[path] = totals.get(path, 0.0) + duration(r)
+        counts[path] = counts.get(path, 0) + 1
+    # self time = total minus the time attributed to direct child paths
+    selfs = dict(totals)
+    for path, t in totals.items():
+        if len(path) > 1:
+            parent = path[:-1]
+            if parent in selfs:
+                selfs[parent] -= t
+    # depth-first render, siblings sorted by total descending
+    children: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    roots: List[Tuple[str, ...]] = []
+    for path in totals:
+        if len(path) == 1:
+            roots.append(path)
+        else:
+            children.setdefault(path[:-1], []).append(path)
+    # tracks without an aggregate row of their own still parent spans
+    for parent in children:
+        if len(parent) == 1 and parent not in totals:
+            roots.append(parent)
+
+    lines = [f"flame summary ({'simulated' if clock == 'sim' else 'host'} clock)"]
+
+    def emit(path: Tuple[str, ...], depth: int) -> None:
+        total = totals.get(path)
+        if total is None:  # synthetic track root
+            lines.append("  " * depth + path[-1])
+        else:
+            lines.append(
+                "  " * depth
+                + f"{path[-1]:<24s} total {total:10.4f}s  "
+                f"self {max(0.0, selfs[path]):10.4f}s  "
+                f"calls {counts[path]:5d}"
+            )
+        for child in sorted(children.get(path, ()),
+                            key=lambda p: -totals.get(p, 0.0)):
+            emit(child, depth + 1)
+
+    for root in sorted(set(roots), key=lambda p: -totals.get(p, 0.0)):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check a Chrome trace payload; returns a list of problems.
+
+    An empty list means the payload is loadable by Perfetto /
+    ``chrome://tracing``: a dict with a ``traceEvents`` list whose entries
+    carry the required keys with sane types, and whose "X" events have
+    non-negative timestamps and durations.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a dict, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not a dict")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: name must be a string")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+            if "args" in ev and not isinstance(ev["args"], dict):
+                problems.append(f"{where}: args must be a dict")
+    return problems

@@ -1,0 +1,220 @@
+"""Hierarchical span tracing over the simulated and host clocks.
+
+A :class:`Tracer` records *spans*: named, attributed, nestable intervals.
+Every span captures two clocks at once -- the **simulated** wall-clock of
+the :class:`~repro.distsys.simulator.ClusterSimulator` (what the paper's
+timings mean) and the **host** wall-clock (what the reproduction itself
+costs to run) -- so one trace answers both "where did the simulated run
+spend its time" and "where did *we* spend ours".
+
+Tracing is zero-cost when disabled: ``tracer.span(...)`` on a disabled
+tracer returns a shared no-op context manager without reading either
+clock or recording anything, so the instrumented hot paths behave exactly
+as the un-instrumented seed code did.  ``NULL_TRACER`` is the process-wide
+disabled singleton the runtime falls back to when no tracer is supplied.
+
+>>> tracer = Tracer()
+>>> with tracer.span("global_balance", step=3) as span:
+...     span.set_attribute("gain", 0.25)
+>>> tracer.records()[0].name
+'global_balance'
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: an immutable, picklable, JSON-friendly interval.
+
+    ``sim_*`` times are simulated seconds (the tracer's bound clock);
+    ``wall_*`` times are host ``time.perf_counter()`` seconds.  ``track``
+    names the run the span belongs to, so spans of several runs (e.g. the
+    two halves of a paired experiment) can share one trace file without
+    their timelines colliding.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    track: str
+    sim_start: float
+    sim_end: float
+    wall_start: float
+    wall_end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sim_elapsed(self) -> float:
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_elapsed(self) -> float:
+        return self.wall_end - self.wall_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSONL export."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "track": self.track,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared no-op span: entering, exiting and attributing cost nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live, in-flight span.  Use as a context manager via
+    :meth:`Tracer.span`; closing it appends a :class:`SpanRecord` to the
+    owning tracer (also on exception, with an ``error`` attribute)."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
+                 "sim_start", "wall_start")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.sim_start = 0.0
+        self.wall_start = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def set_attributes(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.sim_start = self._tracer._clock()
+        self.wall_start = time.perf_counter()
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+
+class Tracer:
+    """Collects spans over a bound simulated clock.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes every :meth:`span` call return a shared no-op
+        context manager -- the zero-cost disabled mode.
+    clock:
+        Callable returning the current *simulated* time.  The runtime binds
+        its simulator clock via :meth:`bind_clock`; unbound tracers read 0.
+    track:
+        Name stamped on every span this tracer records (one run = one
+        track).  :meth:`extend` merges records from other tracers/workers
+        keeping their own track names.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None,
+                 track: str = "run") -> None:
+        self.enabled = bool(enabled)
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.track = track
+        self._stack: List[Span] = []
+        self._finished: List[SpanRecord] = []
+        self._next_id = 1
+
+    # -- recording --------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a new simulated-clock source."""
+        self._clock = clock
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("solve", level=1):``.
+
+        On a disabled tracer this returns the shared no-op span without
+        touching either clock.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        return Span(self, name, span_id, parent_id, attrs)
+
+    def _finish(self, span: Span) -> None:
+        # tolerate out-of-order exits (exceptions unwinding several levels)
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        self._finished.append(
+            SpanRecord(
+                name=span.name,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                track=self.track,
+                sim_start=span.sim_start,
+                sim_end=self._clock(),
+                wall_start=span.wall_start,
+                wall_end=time.perf_counter(),
+                attrs=span.attrs,
+            )
+        )
+
+    # -- reading / merging ------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return len(self._finished)
+
+    def records(self) -> List[SpanRecord]:
+        """Finished spans, in completion order (children before parents)."""
+        return list(self._finished)
+
+    def extend(self, records: List[SpanRecord]) -> None:
+        """Merge already-finished records (e.g. from a worker's tracer)."""
+        self._finished.extend(records)
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self._stack.clear()
+
+
+#: process-wide disabled tracer: the default everywhere a tracer is optional
+NULL_TRACER = Tracer(enabled=False)

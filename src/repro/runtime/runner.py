@@ -21,11 +21,18 @@ from ..config import SchemeParams, SimParams
 from ..core.base import BalanceContext, DLBScheme
 from ..core.gain import WorkloadHistory
 from ..distsys.comm import Message, MessageKind
-from ..distsys.events import EventLog, FaultEvent, RedistributionEvent, RegridEvent
+from ..distsys.events import (
+    EventLog,
+    FaultEvent,
+    GlobalDecisionEvent,
+    RedistributionEvent,
+    RegridEvent,
+)
 from ..distsys.simulator import ClusterSimulator
 from ..distsys.system import DistributedSystem
 from ..faults.schedule import FaultSchedule
 from ..metrics.timing import RunResult
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..partition.mapping import GridAssignment
 
 __all__ = ["SAMRRunner", "root_blocks", "default_blocks_per_axis"]
@@ -116,6 +123,19 @@ class SAMRRunner(IntegratorHooks):
         load models and link overlays) and handed to the simulator so fault
         window boundaries show up in the event log as
         :class:`~repro.distsys.events.FaultEvent` records.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  The runner binds it to the
+        simulator clock and opens spans around every integrator hook
+        (``solve``, ``regrid``, ``local_balance``, ``global_balance``) on
+        top of the simulator's phase spans; the ``global_balance`` span
+        carries the decision's ``gain`` / ``cost`` / ``redistributed``
+        attributes.  ``None`` (the default) is the zero-cost disabled path
+        -- results are bit-identical to an un-instrumented run.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When given, the
+        runner records ``dlb.*`` and ``comm.*`` series during the run and
+        attaches :meth:`~repro.obs.MetricsRegistry.snapshot` to the
+        :class:`RunResult`.
     """
 
     def __init__(
@@ -130,6 +150,8 @@ class SAMRRunner(IntegratorHooks):
         regrid_params: Optional[RegridParams] = None,
         log: Optional[EventLog] = None,
         fault_schedule: Optional[FaultSchedule] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if fault_schedule is not None:
             system = fault_schedule.apply(system)
@@ -137,6 +159,8 @@ class SAMRRunner(IntegratorHooks):
         self.system = system
         self.scheme = scheme
         self.fault_schedule = fault_schedule
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.sim_params = sim_params or SimParams()
         self.scheme_params = scheme_params or SchemeParams()
         self.regrid_params = regrid_params or RegridParams()
@@ -150,7 +174,9 @@ class SAMRRunner(IntegratorHooks):
             root_blocks(app.domain, blocks_per_axis),
             work_per_cell=app.work_per_cell(0),
         )
-        self.sim = ClusterSimulator(self.system, log, fault_schedule=fault_schedule)
+        self.sim = ClusterSimulator(self.system, log, fault_schedule=fault_schedule,
+                                    tracer=self.tracer)
+        self.tracer.bind_clock(lambda: self.sim.clock)
         self.assignment = GridAssignment(self.hierarchy, self.system)
         self.history = WorkloadHistory()
         self.ctx = BalanceContext(
@@ -161,6 +187,7 @@ class SAMRRunner(IntegratorHooks):
             sim_params=self.sim_params,
             scheme_params=self.scheme_params,
             history=self.history,
+            tracer=self.tracer,
         )
         # Initial adaptation: refine the t=0 initial conditions before
         # distributing, as production SAMR codes do -- both schemes then
@@ -182,42 +209,88 @@ class SAMRRunner(IntegratorHooks):
 
     def solve(self, step: SubStep) -> None:
         level = step.level
-        loads = self.assignment.level_loads(level)
-        self.sim.run_compute(loads, level=level, seq=step.seq)
-        self.history.record_solve(level, loads)
-        messages = self._ghost_messages(level)
-        messages.extend(self._parent_child_messages(level))
-        if messages:
-            self.sim.run_comm(messages, level=level, purpose="ghost")
+        with self.tracer.span("solve", level=level, seq=step.seq):
+            loads = self.assignment.level_loads(level)
+            self.sim.run_compute(loads, level=level, seq=step.seq)
+            self.history.record_solve(level, loads)
+            messages = self._ghost_messages(level)
+            messages.extend(self._parent_child_messages(level))
+            if messages:
+                self.sim.run_comm(messages, level=level, purpose="ghost")
 
     def regrid(self, level: int, time: float) -> None:
-        created = regrid_level(
-            self.hierarchy, self.app, level, time, self.regrid_params
-        )
-        self.assignment.prune()
-        if created:
-            self.sim.charge_overhead(
-                self.sim_params.regrid_seconds_per_grid * len(created),
-                as_balance=False,
+        with self.tracer.span("regrid", level=level) as span:
+            created = regrid_level(
+                self.hierarchy, self.app, level, time, self.regrid_params
             )
-            self.scheme.place_new_grids(self.ctx, [g.gid for g in created])
-        self.sim.log.record(
-            RegridEvent(
-                time=self.sim.clock,
-                fine_level=level + 1,
-                ngrids=len(created),
-                ncells=sum(g.ncells for g in created),
+            self.assignment.prune()
+            if created:
+                self.sim.charge_overhead(
+                    self.sim_params.regrid_seconds_per_grid * len(created),
+                    as_balance=False,
+                )
+                self.scheme.place_new_grids(self.ctx, [g.gid for g in created])
+            self.sim.log.record(
+                RegridEvent(
+                    time=self.sim.clock,
+                    fine_level=level + 1,
+                    ngrids=len(created),
+                    ncells=sum(g.ncells for g in created),
+                )
             )
-        )
+            span.set_attribute("created_grids", len(created))
 
     def local_balance(self, level: int, time: float) -> None:
-        self.scheme.local_balance(self.ctx, level, time)
+        with self.tracer.span("local_balance", level=level):
+            self.scheme.local_balance(self.ctx, level, time)
 
     def global_balance(self, time: float) -> None:
         if self.integrator.coarse_steps_done > 0:
             self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
         self._step_start_clock = self.sim.clock
-        self.scheme.global_balance(self.ctx, time)
+        observing = self.tracer.enabled or self.metrics is not None
+        before = len(self.sim.log) if observing else 0
+        with self.tracer.span(
+            "global_balance", step=self.integrator.coarse_steps_done
+        ) as span:
+            self.scheme.global_balance(self.ctx, time)
+            if observing:
+                self._observe_decision(span, before)
+
+    def _observe_decision(self, span, log_index: int) -> None:
+        """Attach the scheme's balancing outcome to the open span/metrics.
+
+        Scans events the scheme just recorded: the ``GlobalDecisionEvent``
+        (if the scheme evaluated the gate) yields the span's ``gain`` /
+        ``cost`` / ``invoked`` attributes and the ``dlb.gain`` /
+        ``dlb.cost`` observations; redistribution events yield the
+        ``redistributed`` grid count and the ``dlb.redistributions``
+        counters.
+        """
+        new_events = list(self.sim.log)[log_index:]
+        decision = None
+        redistributed = 0
+        moved_cells = 0
+        for e in new_events:
+            if type(e) is GlobalDecisionEvent:
+                decision = e
+            elif type(e) is RedistributionEvent:
+                redistributed += e.moved_grids
+                moved_cells += e.moved_cells
+        if decision is not None:
+            span.set_attributes(gain=decision.gain, cost=decision.cost,
+                                invoked=decision.invoked,
+                                redistributed=redistributed)
+            if self.metrics is not None:
+                self.metrics.counter("dlb.decisions").inc()
+                self.metrics.histogram("dlb.gain").observe(decision.gain)
+                self.metrics.histogram("dlb.cost").observe(decision.cost)
+                if decision.invoked:
+                    self.metrics.counter("dlb.invocations").inc()
+        if redistributed and self.metrics is not None:
+            self.metrics.counter("dlb.redistributions").inc()
+            self.metrics.counter("dlb.moved_grids").inc(redistributed)
+            self.metrics.counter("dlb.moved_cells").inc(moved_cells)
 
     # ------------------------------------------------------------------ #
     # message generation
@@ -269,14 +342,25 @@ class SAMRRunner(IntegratorHooks):
         """Advance ``ncoarse_steps`` level-0 steps and summarise."""
         if ncoarse_steps < 1:
             raise ValueError(f"ncoarse_steps must be >= 1, got {ncoarse_steps}")
-        self.integrator.run(ncoarse_steps)
-        # close the last coarse step's history record
-        self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
-        self._step_start_clock = self.sim.clock
+        with self.tracer.span("run", scheme=self.scheme.name, app=self.app.name,
+                              steps=ncoarse_steps):
+            self.integrator.run(ncoarse_steps)
+            # close the last coarse step's history record
+            self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
+            self._step_start_clock = self.sim.clock
         return self.result()
 
     def result(self) -> RunResult:
         """Snapshot of the run so far as a :class:`RunResult`."""
+        if self.metrics is not None:
+            self.metrics.gauge("run.total_time").set(self.sim.clock)
+            self.metrics.gauge("compute.time").set(self.sim.compute_time)
+            self.metrics.gauge("comm.time").set(self.sim.comm_time)
+            self.metrics.gauge("balance.overhead").set(self.sim.balance_overhead)
+            self.metrics.gauge("probe.time").set(self.sim.probe_time)
+            for kind, nbytes in sorted(self.sim.remote_bytes_by_kind.items()):
+                remote = self.metrics.counter("comm.remote_bytes", kind=kind)
+                remote.inc(max(0.0, nbytes - remote.value))
         return RunResult(
             scheme=self.scheme.name,
             app=self.app.name,
@@ -297,4 +381,5 @@ class SAMRRunner(IntegratorHooks):
             decisions=len(getattr(self.scheme, "decisions", [])),
             faults=len(self.sim.log.of_type(FaultEvent)),
             events=self.sim.log,
+            metrics=self.metrics.snapshot() if self.metrics is not None else None,
         )

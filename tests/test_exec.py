@@ -241,8 +241,8 @@ class TestDeterminismEndToEnd:
 class TestHarnessIntegration:
     def test_run_sweep_with_parallel_executor_matches_serial(self):
         base = ExperimentConfig(steps=2)
-        serial = run_sweep(base, (1, 2), with_sequential=True)
-        parallel = run_sweep(base, (1, 2), with_sequential=True,
+        serial = run_sweep(base, procs_per_group=(1, 2), with_sequential=True)
+        parallel = run_sweep(base, procs_per_group=(1, 2), with_sequential=True,
                              executor=ParallelExecutor(jobs=2))
         assert serial.exec_stats is not None and parallel.exec_stats is not None
         assert parallel.exec_stats.jobs == 2
@@ -255,7 +255,8 @@ class TestHarnessIntegration:
     def test_sweep_sequential_shared_and_cached_once(self, tmp_path):
         ex = SerialExecutor(cache=ResultCache(tmp_path))
         base = ExperimentConfig(steps=2)
-        sw = run_sweep(base, (1, 2), with_sequential=True, executor=ex)
+        sw = run_sweep(base, procs_per_group=(1, 2), with_sequential=True,
+                       executor=ex)
         assert sw.pairs[0].sequential is sw.pairs[1].sequential
         # the sequential reference is keyed on the *normalised* config, so
         # any sweep over the same workload shares one entry
@@ -277,8 +278,10 @@ class TestHarnessIntegration:
 
         ex = SerialExecutor(cache=ResultCache(tmp_path))
         base = ExperimentConfig(steps=2, procs_per_group=1)
-        first = run_fault_scenarios(base, ("none", "slowdown"), executor=ex)
-        second = run_fault_scenarios(base, ("none", "slowdown"), executor=ex)
+        first = run_fault_scenarios(base, scenarios=("none", "slowdown"),
+                                    executor=ex)
+        second = run_fault_scenarios(base, scenarios=("none", "slowdown"),
+                                     executor=ex)
         for results in (first, second):
             for pair in results.values():
                 assert pair.distributed.events is not None

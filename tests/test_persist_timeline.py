@@ -35,7 +35,8 @@ def result():
 @pytest.fixture(scope="module")
 def sweep():
     return run_sweep(
-        ExperimentConfig(procs_per_group=1, steps=2), (1,), with_sequential=True
+        ExperimentConfig(procs_per_group=1, steps=2),
+        procs_per_group=(1,), with_sequential=True,
     )
 
 
@@ -141,7 +142,8 @@ class TestFaultScenarioPersistence:
     @pytest.fixture(scope="class")
     def scenarios(self):
         return run_fault_scenarios(
-            ExperimentConfig(procs_per_group=1, steps=2), ("none", "slowdown")
+            ExperimentConfig(procs_per_group=1, steps=2),
+            scenarios=("none", "slowdown"),
         )
 
     def test_file_roundtrip_preserves_order(self, scenarios, tmp_path):

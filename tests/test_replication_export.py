@@ -62,8 +62,8 @@ class TestExport:
     @pytest.fixture(scope="class")
     def sweep(self):
         return run_sweep(
-            ExperimentConfig(procs_per_group=1, steps=2), (1,),
-            with_sequential=True,
+            ExperimentConfig(procs_per_group=1, steps=2),
+            procs_per_group=(1,), with_sequential=True,
         )
 
     def test_sweep_csv_roundtrip(self, sweep, tmp_path):
@@ -79,7 +79,8 @@ class TestExport:
         assert float(rows[0]["parallel_efficiency"]) > 0
 
     def test_sweep_csv_without_sequential(self, tmp_path):
-        sweep = run_sweep(ExperimentConfig(procs_per_group=1, steps=2), (1,))
+        sweep = run_sweep(ExperimentConfig(procs_per_group=1, steps=2),
+                          procs_per_group=(1,))
         path = tmp_path / "s.csv"
         sweep_to_csv(sweep, path)
         with open(path) as fh:

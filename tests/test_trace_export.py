@@ -1,0 +1,112 @@
+"""End-to-end tracing: paired run -> valid Chrome trace; tracing is opt-in.
+
+Two guarantees pinned here:
+
+* a traced paired run exports schema-valid Chrome trace-event JSON in
+  which every :class:`GlobalDecisionEvent` of the distributed run has a
+  matching ``global_balance`` span carrying the decision's ``gain`` /
+  ``cost`` / ``redistributed`` attributes;
+* tracing is strictly opt-in -- untraced runs carry no spans/metrics and
+  are bit-identical to the pre-observability seed path, traced runs do
+  not perturb the simulated results.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    SerialExecutor,
+    Tracer,
+    run_experiment,
+    run_paired,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.distsys.events import GlobalDecisionEvent
+
+SMALL = ExperimentConfig(procs_per_group=2, steps=3)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = Tracer()
+    pair = run_paired(SMALL, tracer=tracer)
+    return tracer, pair
+
+
+class TestChromeExport:
+    def test_export_is_schema_valid(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "pair_trace.json"
+        write_chrome_trace(tracer.records(), path)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert len(payload["traceEvents"]) > 0
+
+    def test_one_track_per_run(self, traced):
+        tracer, _ = traced
+        tracks = {r.track for r in tracer.records()}
+        assert tracks == {"shockpool3d 2+2 [parallel]",
+                         "shockpool3d 2+2 [distributed]"}
+
+    def test_every_decision_has_matching_global_balance_span(self, traced):
+        tracer, pair = traced
+        decisions = pair.distributed.events.of_type(GlobalDecisionEvent)
+        assert decisions, "distributed run must log decisions"
+        spans = [r for r in tracer.records()
+                 if r.name == "global_balance" and "[distributed]" in r.track]
+        assert len(spans) == len(decisions)
+        for decision, span in zip(decisions, sorted(spans,
+                                                    key=lambda s: s.sim_start)):
+            assert span.attrs["gain"] == pytest.approx(decision.gain)
+            assert span.attrs["cost"] == pytest.approx(decision.cost)
+            assert span.attrs["invoked"] == decision.invoked
+            assert "redistributed" in span.attrs
+            assert "step" in span.attrs
+
+    def test_span_clocks_are_consistent(self, traced):
+        tracer, _ = traced
+        for rec in tracer.records():
+            assert rec.sim_end >= rec.sim_start
+            assert rec.wall_end >= rec.wall_start
+
+    def test_traced_result_carries_metrics_snapshot(self, traced):
+        _, pair = traced
+        metrics = pair.distributed.metrics
+        assert metrics is not None
+        assert metrics["counters"]["dlb.decisions"] > 0
+        assert "run.total_time" in metrics["gauges"]
+
+
+class TestTracingIsOptIn:
+    def test_untraced_results_carry_no_observability_payload(self):
+        r = run_experiment(SMALL, "distributed")
+        assert r.spans is None
+        assert r.metrics is None
+
+    def test_traced_equals_untraced_bit_for_bit(self, traced):
+        _, pair = traced
+        untraced = run_paired(SMALL, executor=SerialExecutor())
+        for traced_r, plain_r in ((pair.parallel, untraced.parallel),
+                                  (pair.distributed, untraced.distributed)):
+            for f in dataclasses.fields(type(plain_r)):
+                if f.name in ("spans", "metrics"):
+                    continue
+                if f.name == "events":
+                    assert [dataclasses.asdict(e) for e in traced_r.events] \
+                        == [dataclasses.asdict(e) for e in plain_r.events]
+                    continue
+                assert getattr(traced_r, f.name) == getattr(plain_r, f.name), \
+                    f.name
+
+    def test_disabled_tracer_leaves_result_untouched(self):
+        from repro.obs import NULL_TRACER
+
+        assert NULL_TRACER.enabled is False
+        a = run_experiment(SMALL, "distributed")
+        b = run_experiment(SMALL, "distributed")
+        assert a.total_time == b.total_time
+        assert list(map(type, a.events)) == list(map(type, b.events))
