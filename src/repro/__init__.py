@@ -10,9 +10,12 @@ Public API tour
 * :mod:`repro.distsys` -- simulated distributed systems: processor groups,
   shared LAN/WAN links with dynamic background traffic, the two-message
   network probe, and the step-driven cost simulator.
-* :mod:`repro.core` -- the DLB schemes: the paper's two-phase
+* :mod:`repro.core` -- the DLB schemes, composed from policy components and
+  resolved through the scheme registry: the paper's two-phase
   :class:`~repro.core.DistributedDLB` (gain/cost-gated global phase +
-  group-local phase) and the :class:`~repro.core.ParallelDLB` baseline.
+  group-local phase), the :class:`~repro.core.ParallelDLB` baseline, and
+  the :class:`~repro.core.StaticDLB` / :class:`~repro.core.DiffusionDLB`
+  controls (see ``docs/SCHEMES.md``).
 * :mod:`repro.runtime` -- :class:`~repro.runtime.SAMRRunner` executes an
   (application, system, scheme) triple and returns a
   :class:`~repro.metrics.RunResult`.
@@ -27,7 +30,16 @@ True
 """
 
 from .config import SchemeParams, SimParams
-from .core import DistributedDLB, ParallelDLB, StaticDLB
+from .core import (
+    DiffusionDLB,
+    DistributedDLB,
+    ParallelDLB,
+    SchemeSpec,
+    StaticDLB,
+    available_schemes,
+    make_scheme,
+    register_scheme,
+)
 from .metrics import RunResult, efficiency
 from .runtime import SAMRRunner
 
@@ -36,9 +48,14 @@ __version__ = "1.0.0"
 __all__ = [
     "SchemeParams",
     "SimParams",
+    "DiffusionDLB",
     "DistributedDLB",
     "ParallelDLB",
     "StaticDLB",
+    "SchemeSpec",
+    "register_scheme",
+    "available_schemes",
+    "make_scheme",
     "RunResult",
     "efficiency",
     "SAMRRunner",
@@ -58,9 +75,10 @@ def quick_run(
     """Run a small canned experiment and return its :class:`RunResult`.
 
     ``app_name`` is one of ``"shockpool3d"``, ``"amr64"``, ``"blastwave"``;
-    ``scheme_name`` one of ``"distributed"``, ``"parallel"``.  ShockPool3D
-    runs on the WAN system, AMR64 on the LAN system (as in the paper);
-    BlastWave uses the WAN system.
+    ``scheme_name`` any registered scheme name (see
+    :func:`~repro.core.registry.available_schemes`).  ShockPool3D runs on
+    the WAN system, AMR64 on the LAN system (as in the paper); BlastWave
+    uses the WAN system.
     """
     from .amr.applications import AMR64, BlastWave, ShockPool3D
     from .distsys import ConstantTraffic, lan_system, wan_system
@@ -79,11 +97,5 @@ def quick_run(
         if app_name == "amr64"
         else wan_system(procs_per_group, traffic)
     )
-    if scheme_name == "distributed":
-        scheme = DistributedDLB()
-    elif scheme_name == "parallel":
-        scheme = ParallelDLB()
-    else:
-        raise ValueError(f"unknown scheme {scheme_name!r}")
-    runner = SAMRRunner(app, system, scheme)
+    runner = SAMRRunner(app, system, make_scheme(scheme_name))
     return runner.run(steps)

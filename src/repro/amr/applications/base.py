@@ -22,7 +22,7 @@ analytically, which preserves exactly what the load balancer observes.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

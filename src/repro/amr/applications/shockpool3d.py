@@ -23,7 +23,6 @@ imbalance develops and the global phase has real work to do.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 

@@ -19,8 +19,8 @@ Hook points reproduce Fig. 5:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from .hierarchy import GridHierarchy
 

@@ -9,7 +9,7 @@ splitting is applied axis by axis).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -44,7 +44,6 @@ def advect_donor_cell(
         raise ValueError(f"CFL violation: Courant number {c:.3f} > 1")
 
     interior = gd._interior_slices()
-    ng = gd.nghost
     for axis in range(ndim):
         nu = v[axis] * dt / dx
         if nu == 0.0:

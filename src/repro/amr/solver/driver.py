@@ -26,9 +26,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..box import Box
-from ..flagging import FlagField, buffer_flags
-from ..clustering import ClusterParams, cluster_flags
-from ..grid import Grid
 from ..hierarchy import GridHierarchy
 from ..integrator import IntegratorHooks, SAMRIntegrator, SubStep
 from ..regrid import RegridParams, regrid_level
@@ -303,9 +300,6 @@ class AdvectionDriver(IntegratorHooks):
             if not grids:
                 break
             cell_vol = self.cell_width(level) ** self.ndim
-            finer = self.hierarchy.level_grids(level + 1) if (
-                level + 1 < self.hierarchy.max_levels
-            ) else []
             for grid in grids:
                 u = self.data[grid.gid].interior
                 mass = u.sum()

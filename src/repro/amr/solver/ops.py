@@ -13,11 +13,10 @@ These are the three data motions of any Berger--Colella code:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Mapping
 
 import numpy as np
 
-from ..box import Box
 from ..hierarchy import GridHierarchy
 from .state import GridData
 

@@ -20,8 +20,8 @@ sides are advanced at fine resolution) and at domain boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping
 
 import numpy as np
 

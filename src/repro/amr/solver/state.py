@@ -9,7 +9,7 @@ boundary extrapolation -- and are refilled before every solver step.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

@@ -23,6 +23,20 @@ from __future__ import annotations
 from .config import ExecParams, FaultParams, SchemeParams, SimParams
 from .harness.experiment import ExperimentConfig, sequential_config
 
+# -- schemes: policy protocols + registry ----------------------------------
+from .core.policies import (
+    DecisionPolicy,
+    GlobalPartitionPolicy,
+    LocalBalancePolicy,
+    WeightPolicy,
+)
+from .core.registry import (
+    SchemeSpec,
+    available_schemes,
+    make_scheme,
+    register_scheme,
+)
+
 # -- entry points ----------------------------------------------------------
 from . import quick_run
 from .harness.experiment import execute_scheme, run_experiment, run_sequential
@@ -91,6 +105,15 @@ __all__ = [
     "FaultParams",
     "ExecParams",
     "sequential_config",
+    # schemes: policy protocols + registry
+    "WeightPolicy",
+    "DecisionPolicy",
+    "GlobalPartitionPolicy",
+    "LocalBalancePolicy",
+    "SchemeSpec",
+    "register_scheme",
+    "available_schemes",
+    "make_scheme",
     # entry points
     "quick_run",
     "run_experiment",

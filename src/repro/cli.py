@@ -49,9 +49,11 @@ import argparse
 from typing import List, Optional, Sequence
 
 from .config import ExecParams, FaultParams
+from .core.registry import SEQUENTIAL, available_schemes
 from .exec import ExecTask, get_default_executor, make_executor, set_default_executor
 from .obs import Tracer, flame_summary, write_chrome_trace
 from .harness import (
+    DEFAULT_SCHEMES,
     FAULT_SWEEP_SCENARIOS,
     ExperimentConfig,
     format_percent,
@@ -203,8 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p_run)
     _add_exec_args(p_run)
     _add_trace_args(p_run)
+    # choices come from the registry: any scheme registered (built-in or
+    # user-supplied) is runnable by name, plus the E(1) pseudo-scheme
     p_run.add_argument("--scheme", default="distributed",
-                       choices=["distributed", "parallel", "static"],
+                       choices=[*available_schemes(), SEQUENTIAL],
                        help="DLB scheme (default: distributed)")
     p_run.add_argument("--timeline", action="store_true",
                        help="print the per-coarse-step activity table")
@@ -240,8 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p_trace)
     _add_exec_args(p_trace)
     p_trace.add_argument("--scheme", default="both",
-                         choices=["both", "distributed", "parallel", "static"],
-                         help="scheme(s) to trace (default: both)")
+                         choices=["both", *available_schemes()],
+                         help="scheme(s) to trace ('both' is the paper's "
+                              "parallel+distributed pair; default: both)")
     p_trace.add_argument("--out", default="trace.json", metavar="PATH",
                          help="output file (default: trace.json)")
     p_trace.add_argument("--format", default="chrome",
@@ -395,7 +400,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = Tracer()
     cfg = _config_from(args)
-    schemes = (["parallel", "distributed"] if args.scheme == "both"
+    schemes = (list(DEFAULT_SCHEMES) if args.scheme == "both"
                else [args.scheme])
     tasks = [ExecTask(cfg, scheme, use_cache=False, trace=True)
              for scheme in schemes]

@@ -1,14 +1,25 @@
-"""Configuration dataclasses shared by the runtime, schemes and harness."""
+"""Configuration dataclasses shared by the runtime, schemes and harness.
+
+Every class here is a frozen dataclass with validated fields: hashable (so
+it can participate in content-addressed cache keys, see
+``docs/PERFORMANCE.md``) and JSON-friendly (every field is a scalar or
+``None``).  Scheme *composition* is configured separately, through
+:class:`repro.core.registry.SchemeSpec` (see ``docs/SCHEMES.md``);
+:class:`SchemeParams` holds the runtime tunables shared by whichever
+composition runs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Final, Tuple
 
-__all__ = ["SimParams", "SchemeParams", "FaultParams", "ExecParams"]
+__all__ = ["SimParams", "SchemeParams", "FaultParams", "ExecParams",
+           "FAULT_SCENARIOS"]
 
 #: fault scenarios the harness knows how to build (see
 #: :func:`repro.harness.experiment.make_faults`)
-FAULT_SCENARIOS = (
+FAULT_SCENARIOS: Final[Tuple[str, ...]] = (
     "none",
     "slowdown",
     "dropout",
@@ -194,6 +205,7 @@ class FaultParams:
 
     @property
     def end(self) -> float:
+        """Close of the fault window: ``start + duration``."""
         return self.start + self.duration
 
     @property

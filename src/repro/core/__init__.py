@@ -1,6 +1,12 @@
-"""The paper's contribution: distributed DLB, its models, and the baseline."""
+"""The paper's contribution: distributed DLB, its models, and the baseline.
+
+Schemes are compositions of four policy protocols (:mod:`.policies`)
+orchestrated by :class:`.composed.ComposedScheme` and resolved by name
+through :mod:`.registry` -- see ``docs/SCHEMES.md`` for the paper mapping.
+"""
 
 from .base import BalanceContext, DLBScheme, Move, execute_moves
+from .composed import ComposedScheme
 from .cost import CostEstimate, CostModel
 from .decision import Decision, decide
 from .diffusion_dlb import DiffusionDLB
@@ -14,6 +20,23 @@ from .global_phase import (
 )
 from .local_phase import lpt_assign, plan_rebalance
 from .parallel_dlb import ParallelDLB
+from .policies import (
+    POLICY_REGISTRIES,
+    DecisionPolicy,
+    GlobalPartitionPolicy,
+    LocalBalancePolicy,
+    WeightPolicy,
+)
+from .registry import (
+    SEQUENTIAL,
+    SchemeSpec,
+    available_schemes,
+    get_scheme_spec,
+    make_scheme,
+    register_scheme,
+    scheme_cache_payload,
+    unregister_scheme,
+)
 from .static_dlb import StaticDLB
 from .weights import capacity_normalized_loads, measure_weights, relative_weights
 
@@ -22,6 +45,7 @@ __all__ = [
     "DLBScheme",
     "Move",
     "execute_moves",
+    "ComposedScheme",
     "CostEstimate",
     "CostModel",
     "Decision",
@@ -42,4 +66,19 @@ __all__ = [
     "capacity_normalized_loads",
     "measure_weights",
     "relative_weights",
+    # policy protocols + component tables
+    "WeightPolicy",
+    "DecisionPolicy",
+    "GlobalPartitionPolicy",
+    "LocalBalancePolicy",
+    "POLICY_REGISTRIES",
+    # scheme registry
+    "SEQUENTIAL",
+    "SchemeSpec",
+    "register_scheme",
+    "unregister_scheme",
+    "available_schemes",
+    "get_scheme_spec",
+    "make_scheme",
+    "scheme_cache_payload",
 ]

@@ -11,7 +11,7 @@ over whatever link separates the two owners and updates the assignment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..amr.hierarchy import GridHierarchy
 from ..config import SchemeParams, SimParams

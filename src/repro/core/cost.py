@@ -16,7 +16,6 @@ portion of cost as delta.  Therefore, the total cost for redistribution is:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 __all__ = ["CostEstimate", "CostModel"]
 

@@ -5,38 +5,42 @@ The paper's related work (§1) positions itself against diffusion schemes:
 [7] and "Elsasser et al. generalize existing diffusive schemes for
 heterogeneous systems [...] but does not address the heterogeneity and
 dynamicity of networks" [9].  This module implements that family so the
-comparison can actually be run.
+comparison can actually be run -- registered as ``"diffusion"``, it runs
+through every harness entry point like any other scheme.
 
-First-order diffusion on the processor graph: at every balancing point each
-processor averages load with its neighbours,
-
-    l_i' = l_i + sum_j alpha_ij * (l_j - l_i),
-
-with the standard uniform weights ``alpha_ij = 1 / (max_degree + 1)``.  One
-sweep runs per balancing opportunity, so imbalance decays geometrically
-rather than being eliminated at once -- the defining behaviour (and
-weakness) of diffusive schemes on rapidly adapting workloads.
-
-The processor graph here is the *complete* graph (every processor can talk
-to every other), matching how the paper's baseline treats the federation as
-one flat machine; like the parallel DLB baseline, it is group-oblivious and
-network-oblivious.  Weights (processor heterogeneity) are honoured the way
-Elsasser et al. generalize diffusion: loads are diffused in
-capacity-normalised space.
+The diffusion dynamics live in
+:class:`~repro.core.policies.DiffusionLocal`: first-order diffusion on the
+complete processor graph with uniform weights ``alpha = 1/n``, one or more
+sweeps per balancing opportunity, loads diffused in capacity-normalised
+space (the heterogeneous generalization of Elsasser et al.).  Like the
+parallel baseline it is group- and network-oblivious, so as a composition
+it is the parallel scheme with the local policy swapped out -- exactly the
+kind of one-axis variation the policy decomposition exists for.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from dataclasses import replace
+from typing import Dict
 
-from .base import BalanceContext, DLBScheme, execute_moves
-from .local_phase import lpt_assign, plan_rebalance
-from ..partition.proportional import processor_targets
+from .composed import ComposedScheme
+from .policies import build_policies
+from .registry import SchemeSpec, register_scheme
 
-__all__ = ["DiffusionDLB"]
+__all__ = ["DiffusionDLB", "DIFFUSION_SPEC"]
+
+DIFFUSION_SPEC = SchemeSpec(
+    name="diffusion",
+    display="diffusion DLB",
+    weights="nominal",
+    decision="never",
+    global_partition="flat",
+    local="diffusion",
+    options={"sweeps": 1},
+)
 
 
-class DiffusionDLB(DLBScheme):
+class DiffusionDLB(ComposedScheme):
     """First-order diffusive balancing on the complete processor graph.
 
     Parameters
@@ -47,78 +51,20 @@ class DiffusionDLB(DLBScheme):
         the price of more migration churn).
     """
 
-    name = "diffusion DLB"
-
     def __init__(self, sweeps: int = 1) -> None:
-        if sweeps < 1:
-            raise ValueError(f"sweeps must be >= 1, got {sweeps}")
-        self.sweeps = int(sweeps)
+        spec = replace(DIFFUSION_SPEC, options={"sweeps": sweeps})
+        super().__init__(spec, **build_policies(spec))
 
-    # ------------------------------------------------------------------ #
-
-    def initial_distribution(self, ctx: BalanceContext) -> None:
-        """Same even start as the parallel baseline (diffusion only defines
-        the *correction* dynamics, not the initial placement)."""
-        for level in range(ctx.hierarchy.max_levels):
-            grids = ctx.hierarchy.level_grids(level)
-            if not grids:
-                continue
-            total = sum(g.workload for g in grids)
-            targets = processor_targets(ctx.system, total)
-            for gid, pid in lpt_assign(grids, targets).items():
-                ctx.assignment.assign(gid, pid)
-
-    def place_new_grids(self, ctx: BalanceContext, new_gids: Sequence[int]) -> None:
-        """New grids stay on the parent's processor; the next diffusion
-        sweeps spread them out.  This is how diffusion schemes are actually
-        used: adaptation dumps load locally, diffusion erodes the pile."""
-        for gid in new_gids:
-            parent_gid = ctx.hierarchy.grid(gid).parent_gid
-            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
-
-    def local_balance(self, ctx: BalanceContext, level: int, time: float) -> None:
-        grids = ctx.hierarchy.level_grids(level)
-        if not grids:
-            return
-        weights = {p.pid: p.weight for p in ctx.system.processors}
-        loads = {pid: 0.0 for pid in weights}
-        for g in grids:
-            loads[ctx.assignment.pid_of(g.gid)] += g.workload
-        targets = self._diffusion_targets(loads, weights)
-        owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in grids}
-        moves = plan_rebalance(
-            grids,
-            owner_of,
-            targets,
-            tolerance=ctx.scheme_params.local_tolerance,
-            max_moves=ctx.scheme_params.max_local_moves,
-        )
-        execute_moves(ctx, moves, level=level, purpose="local-balance")
-
-    def global_balance(self, ctx: BalanceContext, time: float) -> None:
-        """Diffusion has no separate global phase."""
-        return None
-
-    # ------------------------------------------------------------------ #
+    @property
+    def sweeps(self) -> int:
+        return self.local_policy.sweeps
 
     def _diffusion_targets(
         self, loads: Dict[int, float], weights: Dict[int, float]
     ) -> Dict[int, float]:
-        """Loads after ``sweeps`` neighbourhood-averaging steps.
+        """Loads after ``sweeps`` neighbourhood-averaging steps (see
+        :meth:`~repro.core.policies.DiffusionLocal._diffusion_targets`)."""
+        return self.local_policy._diffusion_targets(loads, weights)
 
-        Diffusion runs in capacity-normalised space (load per unit weight),
-        then converts back, which is the heterogeneous generalization.  On
-        the complete graph with uniform alpha = 1/n each sweep moves the
-        normalised loads a fraction ``(n-1)/n`` of the way to the mean.
-        """
-        n = len(loads)
-        if n <= 1:
-            return dict(loads)
-        alpha = 1.0 / n
-        norm = {pid: loads[pid] / weights[pid] for pid in loads}
-        for _ in range(self.sweeps):
-            total = sum(norm.values())
-            norm = {
-                pid: v + alpha * (total - n * v) for pid, v in norm.items()
-            }
-        return {pid: norm[pid] * weights[pid] for pid in loads}
+
+register_scheme(DIFFUSION_SPEC, lambda spec: DiffusionDLB(**spec.options))

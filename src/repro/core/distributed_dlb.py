@@ -11,29 +11,39 @@ Two-phase balancing over a group-structured system:
   ``(alpha, beta)``, evaluate Gain (Eq. 4) against Cost (Eq. 1) and
   redistribute level-0 grids proportionally to group capacity only when
   ``Gain > gamma * Cost`` (Section 4.4, Fig. 4).
+
+As a composition: measured (availability-scaled) weights, the contiguous
+group partition (Eq. 5), group-confined placement/rebalancing and the
+gain/cost gate -- each axis independently reusable by hybrid schemes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace
+from typing import List, Optional
 
-from ..distsys.events import GlobalDecisionEvent
-from ..partition.proportional import group_targets, proportional_shares
-from .base import BalanceContext, DLBScheme, execute_moves
+from ..forecast import AdaptiveForecaster
+from .base import BalanceContext
+from .composed import ComposedScheme
 from .cost import CostModel
-from .decision import Decision, decide
-from .gain import estimate_gain
-from .global_phase import (
-    effective_level0_loads,
-    execute_global_redistribution,
-    plan_global_redistribution,
+from .decision import Decision
+from .policies import build_policies, group_imbalance_exists
+from .registry import SchemeSpec, register_scheme
+
+__all__ = ["DistributedDLB", "DISTRIBUTED_SPEC"]
+
+DISTRIBUTED_SPEC = SchemeSpec(
+    name="distributed",
+    display="distributed DLB",
+    weights="measured",
+    decision="gain-cost",
+    global_partition="proportional",
+    local="group",
+    options={"initial_delta": 0.05, "use_forecast": False},
 )
-from .local_phase import lpt_assign, plan_rebalance
-
-__all__ = ["DistributedDLB"]
 
 
-class DistributedDLB(DLBScheme):
+class DistributedDLB(ComposedScheme):
     """Heterogeneity- and network-aware two-phase DLB (the paper's scheme).
 
     Parameters
@@ -41,253 +51,49 @@ class DistributedDLB(DLBScheme):
     initial_delta:
         Prior for the cost model's remembered computational overhead before
         the first redistribution has been measured.
+    use_forecast:
+        Optional NWS-style smoothing of probed link parameters (the
+        paper's Section 6 future-work item); off by default -- the paper's
+        scheme uses the instantaneous probe.
     """
 
-    name = "distributed DLB"
-
     def __init__(self, initial_delta: float = 0.05, use_forecast: bool = False) -> None:
-        self.cost_model = CostModel(initial_delta=initial_delta)
-        #: decision history, for ablations and the Fig. 4 trace
-        self.decisions: List[Decision] = []
-        #: optional NWS-style smoothing of probed link parameters (the
-        #: paper's Section 6 future-work item); off by default -- the paper's
-        #: scheme uses the instantaneous probe
-        self.use_forecast = bool(use_forecast)
-        if self.use_forecast:
-            from ..forecast import AdaptiveForecaster
-
-            self._alpha_forecaster = AdaptiveForecaster()
-            self._beta_forecaster = AdaptiveForecaster()
-        else:
-            self._alpha_forecaster = None
-            self._beta_forecaster = None
-
-    # ------------------------------------------------------------------ #
-    # initial distribution
-    # ------------------------------------------------------------------ #
-
-    def initial_distribution(self, ctx: BalanceContext) -> None:
-        """Capacity-proportional split across groups, LPT within each group.
-
-        Level-0 grids are sorted along axis 0 and dealt to groups in
-        contiguous runs so each group owns a compact subdomain -- the
-        paper's groups own contiguous halves of the domain (Fig. 6).  The
-        fill is weighted by each root grid's *effective* (all-levels)
-        load, so an already adapted initial hierarchy starts balanced.
-        Descendant grids follow their root ancestor's group (children stay
-        with parents) and are LPT-balanced within it, level by level.
-        """
-        eff = effective_level0_loads(ctx)
-        grids = sorted(
-            ctx.hierarchy.level_grids(0), key=lambda g: (g.box.lo, g.gid)
+        spec = replace(
+            DISTRIBUTED_SPEC,
+            options={"initial_delta": initial_delta,
+                     "use_forecast": bool(use_forecast)},
         )
-        total = sum(eff.values())
-        if total <= 0:
-            total = sum(g.workload for g in grids)
-            eff = {g.gid: g.workload for g in grids}
-        targets = group_targets(ctx.system, total, time=0.0)
-        # contiguous fill: walk sorted grids, advance group when target met
-        order = sorted(targets)
-        gi = 0
-        filled = 0.0
-        root_group: Dict[int, int] = {}
-        for grid in grids:
-            if (
-                gi < len(order) - 1
-                and filled + eff[grid.gid] / 2.0 >= targets[order[gi]]
-            ):
-                gi += 1
-                filled = 0.0
-            root_group[grid.gid] = order[gi]
-            filled += eff[grid.gid]
-        # descendants inherit the root's group
-        grid_group: Dict[int, int] = {}
-        for root_gid, group_id in root_group.items():
-            for g in ctx.hierarchy.subtree(root_gid):
-                grid_group[g.gid] = group_id
-        # per level, per group: LPT among the group's processors
-        for level in range(ctx.hierarchy.max_levels):
-            level_grids = ctx.hierarchy.level_grids(level)
-            for group in ctx.system.groups:
-                ggrids = [g for g in level_grids if grid_group[g.gid] == group.group_id]
-                if not ggrids:
-                    continue
-                gtotal = sum(g.workload for g in ggrids)
-                shares = proportional_shares(
-                    gtotal,
-                    [p.weight * p.availability(0.0) for p in group.processors],
-                )
-                ptargets = {p.pid: s for p, s in zip(group.processors, shares)}
-                for gid, pid in lpt_assign(ggrids, ptargets).items():
-                    ctx.assignment.assign(gid, pid)
+        super().__init__(spec, **build_policies(spec))
 
     # ------------------------------------------------------------------ #
-    # local phase
+    # historical surface, delegating to the gain/cost decision policy
     # ------------------------------------------------------------------ #
 
-    def place_new_grids(self, ctx: BalanceContext, new_gids: Sequence[int]) -> None:
-        """New grids start on the least-loaded processor of the *parent's*
-        group -- children never leave the group (Section 4.1: "children
-        grids are always located at the same group as their parent grids")."""
-        if not new_gids:
-            return
-        level = ctx.hierarchy.grid(new_gids[0]).level
-        loads = ctx.assignment.level_loads(level)
-        now = ctx.sim.clock
-        weights = {
-            p.pid: p.weight * p.availability(now) for p in ctx.system.processors
-        }
-        for gid in sorted(new_gids, key=lambda g: -ctx.hierarchy.grid(g).workload):
-            grid = ctx.hierarchy.grid(gid)
-            parent_group = ctx.system.groups[
-                ctx.system.processor(ctx.assignment.pid_of(grid.parent_gid)).group_id
-            ]
-            pid = min(
-                parent_group.pids, key=lambda p: (loads[p] / weights[p], p)
-            )
-            ctx.assignment.assign(gid, pid)
-            loads[pid] += grid.workload
+    @property
+    def cost_model(self) -> CostModel:
+        return self.decision_policy.cost_model
 
-    def local_balance(self, ctx: BalanceContext, level: int, time: float) -> None:
-        """Per-group even rebalancing of one level (no inter-group moves)."""
-        grids = ctx.hierarchy.level_grids(level)
-        if not grids:
-            return
-        for group in ctx.system.groups:
-            ggrids = [
-                g for g in grids if ctx.assignment.group_of(g.gid) == group.group_id
-            ]
-            if not ggrids:
-                continue
-            gtotal = sum(g.workload for g in ggrids)
-            shares = proportional_shares(
-                gtotal,
-                [p.weight * p.availability(time) for p in group.processors],
-            )
-            targets = {p.pid: s for p, s in zip(group.processors, shares)}
-            owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in ggrids}
-            moves = plan_rebalance(
-                ggrids,
-                owner_of,
-                targets,
-                tolerance=ctx.scheme_params.local_tolerance,
-                max_moves=ctx.scheme_params.max_local_moves,
-            )
-            execute_moves(ctx, moves, level=level, purpose="local-balance")
+    @property
+    def decisions(self) -> List[Decision]:
+        return self.decision_policy.decisions
 
-    # ------------------------------------------------------------------ #
-    # global phase (Fig. 4, left loop)
-    # ------------------------------------------------------------------ #
+    @property
+    def use_forecast(self) -> bool:
+        return self.decision_policy.use_forecast
 
-    def global_balance(self, ctx: BalanceContext, time: float) -> None:
-        if ctx.system.ngroups < 2:
-            return
-        # re-measure the environment at the balance point: imbalance
-        # detection, gain and the redistribution targets all see the
-        # *effective* capacities at this instant, so an externally slowed
-        # group reads as overloaded even when its workload share is nominal
-        now = ctx.sim.clock
-        imbalanced = self._imbalance_exists(ctx, now)
-        gain = estimate_gain(ctx.history, ctx.system, time=now)
-        if not imbalanced or gain <= 0.0:
-            ctx.sim.log.record(
-                GlobalDecisionEvent(
-                    time=ctx.sim.clock,
-                    gain=gain,
-                    cost=0.0,
-                    gamma=ctx.scheme_params.gamma,
-                    imbalance_detected=imbalanced,
-                    invoked=False,
-                )
-            )
-            return
-        # plan the boundary shift; its level-0 cell count is the W of Eq. 1
-        plan = plan_global_redistribution(ctx, time=now)
-        if plan.empty:
-            ctx.sim.log.record(
-                GlobalDecisionEvent(
-                    time=ctx.sim.clock,
-                    gain=gain,
-                    cost=0.0,
-                    gamma=ctx.scheme_params.gamma,
-                    imbalance_detected=True,
-                    invoked=False,
-                )
-            )
-            return
-        migrate_bytes = plan.migrate_cells * ctx.sim_params.bytes_per_cell
-        # probe the busiest inter-group pair: max-load group vs min-load group
-        rec = ctx.history.last_complete
-        totals = rec.group_totals(ctx.system) if rec is not None else {}
-        if totals:
-            g_hi = max(totals, key=lambda g: (totals[g], g))
-            g_lo = min(totals, key=lambda g: (totals[g], g))
-        else:  # pragma: no cover - imbalance implies history
-            g_hi, g_lo = 0, 1
-        if g_hi == g_lo:
-            g_hi, g_lo = 0, 1
-        alpha, beta = ctx.sim.probe_inter_link(g_hi, g_lo)
-        if self._alpha_forecaster is not None:
-            # fold the fresh probe into the forecasters, then predict the
-            # link state the migration will actually experience
-            self._alpha_forecaster.update(alpha)
-            self._beta_forecaster.update(beta)
-            alpha = self._alpha_forecaster.forecast() or alpha
-            beta = self._beta_forecaster.forecast() or beta
-        cost = self.cost_model.estimate(alpha, beta, migrate_bytes)
-        decision = decide(gain, cost, ctx.scheme_params.gamma)
-        self.decisions.append(decision)
-        ctx.sim.log.record(
-            GlobalDecisionEvent(
-                time=ctx.sim.clock,
-                gain=decision.gain,
-                cost=decision.cost,
-                gamma=decision.gamma,
-                imbalance_detected=True,
-                invoked=decision.invoke,
-            )
-        )
-        if not decision.invoke:
-            return
-        _moved, _cells, delta = execute_global_redistribution(
-            ctx, plan, predicted_cost=cost.total
-        )
-        self.cost_model.record_overhead(delta)
+    @property
+    def _alpha_forecaster(self) -> Optional[AdaptiveForecaster]:
+        return self.decision_policy._alpha_forecaster
 
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
+    @property
+    def _beta_forecaster(self) -> Optional[AdaptiveForecaster]:
+        return self.decision_policy._beta_forecaster
 
     def _imbalance_exists(
         self, ctx: BalanceContext, time: Optional[float] = None
     ) -> bool:
-        """Capacity-normalised group loads differ beyond the threshold?
-
-        Uses the recorded history (Eq. 3 totals) -- the same data the gain
-        is computed from -- so detection and gain agree.  With ``time``,
-        normalisation is by *effective* capacity at that instant: a group
-        slowed 4x by external load trips the threshold with unchanged
-        workload, which is exactly the adaptation the dynamic-environment
-        experiments measure.
-        """
-        rec = ctx.history.last_complete
-        if rec is None:
-            return False
-        totals = rec.group_totals(ctx.system)
-        norm = {}
-        for g in totals:
-            group = ctx.system.groups[g]
-            cap = group.capacity if time is None else group.capacity_at(time)
-            if cap <= 0.0:  # pragma: no cover - availability is floored
-                return True
-            norm[g] = totals[g] / cap
-        hi = max(norm.values())
-        lo = min(norm.values())
-        if hi <= 0.0:
-            return False
-        if lo <= 0.0:
-            return True
-        return hi / lo > ctx.scheme_params.imbalance_threshold
+        """See :func:`~repro.core.policies.group_imbalance_exists`."""
+        return group_imbalance_exists(ctx, time)
 
     @staticmethod
     def _level0_work_per_cell(ctx: BalanceContext) -> float:
@@ -297,3 +103,6 @@ class DistributedDLB(DLBScheme):
         cells = sum(g.ncells for g in grids)
         work = sum(g.workload for g in grids)
         return work / cells if cells else 0.0
+
+
+register_scheme(DISTRIBUTED_SPEC, lambda spec: DistributedDLB(**spec.options))

@@ -20,7 +20,7 @@ Two primitives:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from ..amr.grid import Grid
 from .base import Move

@@ -7,96 +7,35 @@ processors" -- with no notion of groups, boundaries or network cost.  On a
 distributed system this scheme happily scatters child grids across the WAN,
 which is precisely the overhead (Fig. 3) the distributed scheme removes.
 
-Behaviour implemented here:
-
-* initial distribution: LPT over **all** processors (weight-proportional,
-  which on the paper's homogeneous testbed is an even split);
-* new fine grids: each placed on the globally least-loaded processor for
-  its level, wherever that is -- parent locality is ignored;
-* local balancing at every level: greedy even rebalancing over **all**
-  processors;
-* global phase: none (there is no group concept to act on).
+As a composition (see :mod:`repro.core.policies`): nominal weights, flat
+partition (LPT over **all** processors, no global phase), group-oblivious
+greedy placement + all-processor even rebalancing, and no redistribution
+decision to make.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from .composed import ComposedScheme
+from .policies import build_policies
+from .registry import SchemeSpec, register_scheme
 
-from ..distsys.comm import Message, MessageKind
-from ..partition.proportional import processor_targets
-from .base import BalanceContext, DLBScheme, execute_moves
-from .local_phase import lpt_assign, plan_rebalance
+__all__ = ["ParallelDLB", "PARALLEL_SPEC"]
 
-__all__ = ["ParallelDLB"]
+PARALLEL_SPEC = SchemeSpec(
+    name="parallel",
+    display="parallel DLB",
+    weights="nominal",
+    decision="never",
+    global_partition="flat",
+    local="greedy",
+)
 
 
-class ParallelDLB(DLBScheme):
+class ParallelDLB(ComposedScheme):
     """Group-oblivious even balancing (the paper's comparison baseline)."""
 
-    name = "parallel DLB"
+    def __init__(self) -> None:
+        super().__init__(PARALLEL_SPEC, **build_policies(PARALLEL_SPEC))
 
-    def initial_distribution(self, ctx: BalanceContext) -> None:
-        """LPT every level's grids across all processors, independently.
 
-        The initial hierarchy may already carry refined levels (initial
-        conditions are adapted before distribution); each level is balanced
-        separately because levels execute as separate bulk-synchronous
-        phases.
-        """
-        for level in range(ctx.hierarchy.max_levels):
-            grids = ctx.hierarchy.level_grids(level)
-            if not grids:
-                continue
-            total = sum(g.workload for g in grids)
-            targets = processor_targets(ctx.system, total)
-            for gid, pid in lpt_assign(grids, targets).items():
-                ctx.assignment.assign(gid, pid)
-
-    def place_new_grids(self, ctx: BalanceContext, new_gids: Sequence[int]) -> None:
-        """Place each new grid on the globally least-loaded processor.
-
-        When that processor is not the parent's, the interpolated initial
-        data crosses the network once -- the same traffic a migration costs.
-        """
-        if not new_gids:
-            return
-        level = ctx.hierarchy.grid(new_gids[0]).level
-        loads: Dict[int, float] = ctx.assignment.level_loads(level)
-        weights = {p.pid: p.weight for p in ctx.system.processors}
-        messages = []
-        for gid in sorted(new_gids, key=lambda g: -ctx.hierarchy.grid(g).workload):
-            grid = ctx.hierarchy.grid(gid)
-            pid = min(loads, key=lambda p: (loads[p] / weights[p], p))
-            ctx.assignment.assign(gid, pid)
-            loads[pid] += grid.workload
-            parent_pid = ctx.assignment.pid_of(grid.parent_gid)
-            if parent_pid != pid:
-                messages.append(
-                    Message(parent_pid, pid,
-                            grid.ncells * ctx.sim_params.bytes_per_cell,
-                            MessageKind.MIGRATION)
-                )
-        if messages:
-            ctx.sim.run_comm(messages, level=level, purpose="placement",
-                             count_as_balance=True)
-
-    def local_balance(self, ctx: BalanceContext, level: int, time: float) -> None:
-        """Even rebalancing of one level over every processor in the system."""
-        grids = ctx.hierarchy.level_grids(level)
-        if not grids:
-            return
-        total = sum(g.workload for g in grids)
-        targets = processor_targets(ctx.system, total)
-        owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in grids}
-        moves = plan_rebalance(
-            grids,
-            owner_of,
-            targets,
-            tolerance=ctx.scheme_params.local_tolerance,
-            max_moves=ctx.scheme_params.max_local_moves,
-        )
-        execute_moves(ctx, moves, level=level, purpose="local-balance")
-
-    def global_balance(self, ctx: BalanceContext, time: float) -> None:
-        """The parallel scheme has no inter-group phase."""
-        return None
+register_scheme(PARALLEL_SPEC, lambda spec: ParallelDLB())

@@ -1,0 +1,854 @@
+"""Policy components: the four axes a DLB scheme is composed of.
+
+The paper's scheme is really four separable policies, and every scheme in
+this package is a :class:`~repro.core.composed.ComposedScheme` wiring one
+choice per axis (see ``docs/SCHEMES.md`` for the paper mapping):
+
+* :class:`WeightPolicy` -- how processor performance is evaluated
+  (Section 3.1's relative-performance weights, nominal or re-measured
+  under load);
+* :class:`DecisionPolicy` -- whether a planned redistribution is worth
+  invoking (Eqs. 1-4: Gain vs ``gamma *`` Cost);
+* :class:`GlobalPartitionPolicy` -- how work is partitioned *across*
+  groups (Eq. 5's capacity-proportional split, or no group structure at
+  all);
+* :class:`LocalBalancePolicy` -- how new grids are placed and how one
+  level is rebalanced *within* the partition (Fig. 5's balance points).
+
+Concrete policies register in the ``*_POLICIES`` tables keyed by the short
+names a :class:`~repro.core.registry.SchemeSpec` serializes; user-defined
+policies may be added to those tables directly.  :func:`build_policies`
+instantiates one policy per axis from a spec, routing ``spec.options`` to
+the constructors that accept them (``sweeps`` to the diffusion local
+policy, ``initial_delta``/``use_forecast`` to the gain/cost decision, ...).
+
+Every concrete policy here reproduces the corresponding scheme-class code
+path bit for bit: the nominal weight policy resolves to ``time=None`` so
+time-optional helpers (:func:`~repro.partition.proportional.processor_targets`
+and friends) take exactly the branch the pre-refactor schemes took.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Type,
+    runtime_checkable,
+)
+
+from ..distsys.comm import Message, MessageKind
+from ..partition.proportional import (
+    group_targets,
+    processor_targets,
+    proportional_shares,
+)
+from .base import BalanceContext, execute_moves
+from .cost import CostModel
+from .decision import Decision, decide
+from .gain import estimate_gain
+from .global_phase import (
+    GlobalPlan,
+    effective_level0_loads,
+    execute_global_redistribution,
+    plan_global_redistribution,
+)
+from .local_phase import lpt_assign, plan_rebalance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..distsys.system import DistributedSystem
+    from .registry import SchemeSpec
+
+__all__ = [
+    "WeightPolicy",
+    "DecisionPolicy",
+    "GlobalPartitionPolicy",
+    "LocalBalancePolicy",
+    "NominalWeights",
+    "MeasuredWeights",
+    "NeverRedistribute",
+    "AlwaysRedistribute",
+    "GainCostDecision",
+    "FlatPartition",
+    "ContiguousGroupPartition",
+    "GlobalGreedyLocal",
+    "GroupLocal",
+    "StickyLocal",
+    "DiffusionLocal",
+    "WEIGHT_POLICIES",
+    "DECISION_POLICIES",
+    "GLOBAL_POLICIES",
+    "LOCAL_POLICIES",
+    "POLICY_REGISTRIES",
+    "build_policies",
+    "group_imbalance_exists",
+]
+
+
+# --------------------------------------------------------------------- #
+# protocols
+# --------------------------------------------------------------------- #
+
+
+@runtime_checkable
+class WeightPolicy(Protocol):
+    """How processor performance weights are evaluated (paper Section 3.1).
+
+    The policy answers two questions: what is each processor worth right
+    now, and -- for the time-optional partitioning helpers -- should the
+    current clock be consulted at all.  ``resolve_time`` returning ``None``
+    selects nominal weights/capacities everywhere downstream, which is the
+    paper's homogeneous-baseline behaviour.
+    """
+
+    def resolve_time(self, time: float) -> Optional[float]:
+        """Map the balance-point clock to the helpers' ``time`` argument."""
+        ...
+
+    def processor_weights(
+        self, system: "DistributedSystem", time: float
+    ) -> Dict[int, float]:
+        """Per-pid performance weight at ``time``."""
+        ...
+
+
+@runtime_checkable
+class DecisionPolicy(Protocol):
+    """Whether a planned global redistribution is worth invoking (Eqs. 1-4)."""
+
+    #: gate evaluations so far, for ablations and the Fig. 4 trace
+    decisions: List[Decision]
+
+    def imbalance_exists(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> bool:
+        """Is inter-group imbalance detected at the balance point?"""
+        ...
+
+    def estimate_gain(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> float:
+        """Eq. 4's Gain from the recorded workload history."""
+        ...
+
+    def evaluate(
+        self, ctx: BalanceContext, plan: GlobalPlan, gain: float
+    ) -> Decision:
+        """Gate a non-empty plan: estimate Cost (Eq. 1), apply the gate."""
+        ...
+
+    def record_overhead(self, delta: float) -> None:
+        """Feed the measured redistribution overhead back (Eq. 1's delta)."""
+        ...
+
+
+@runtime_checkable
+class GlobalPartitionPolicy(Protocol):
+    """How work is partitioned across the system's groups (Eq. 5)."""
+
+    def initial_distribution(
+        self, ctx: BalanceContext, weights: WeightPolicy
+    ) -> None:
+        """Distribute the initial hierarchy."""
+        ...
+
+    def active(self, ctx: BalanceContext) -> bool:
+        """Does this partition run a global phase on this system at all?"""
+        ...
+
+    def plan(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> GlobalPlan:
+        """Plan the inter-group redistribution at a balance point."""
+        ...
+
+    def execute(
+        self, ctx: BalanceContext, plan: GlobalPlan, predicted_cost: float
+    ) -> float:
+        """Execute a plan; returns the measured computational overhead."""
+        ...
+
+
+@runtime_checkable
+class LocalBalancePolicy(Protocol):
+    """Placement of new grids and per-level rebalancing (Fig. 5)."""
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        """Place freshly created grids of one level."""
+        ...
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        """Rebalance one level at a balance point."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# weight policies
+# --------------------------------------------------------------------- #
+
+
+class NominalWeights:
+    """Static relative-performance weights (paper Section 3.1, Table 1).
+
+    ``resolve_time`` is ``None``: downstream partitioning helpers use the
+    processors' nominal weights and the groups' nominal capacities, exactly
+    as the group-oblivious schemes always did.
+    """
+
+    def resolve_time(self, time: float) -> Optional[float]:
+        return None
+
+    def processor_weights(
+        self, system: "DistributedSystem", time: float
+    ) -> Dict[int, float]:
+        return {p.pid: p.weight for p in system.processors}
+
+
+class MeasuredWeights:
+    """Weights re-measured at the balance point: ``weight * availability``.
+
+    This is the distributed scheme's adaptation to non-dedicated resources:
+    a processor slowed by external load is worth proportionally less the
+    moment a balancing decision consults it.
+    """
+
+    def resolve_time(self, time: float) -> Optional[float]:
+        return time
+
+    def processor_weights(
+        self, system: "DistributedSystem", time: float
+    ) -> Dict[int, float]:
+        return {
+            p.pid: p.weight * p.availability(time) for p in system.processors
+        }
+
+
+# --------------------------------------------------------------------- #
+# decision policies
+# --------------------------------------------------------------------- #
+
+
+def group_imbalance_exists(
+    ctx: BalanceContext, time: Optional[float] = None
+) -> bool:
+    """Capacity-normalised group loads differ beyond the threshold?
+
+    Uses the recorded history (Eq. 3 totals) -- the same data the gain is
+    computed from -- so detection and gain agree.  With ``time``,
+    normalisation is by *effective* capacity at that instant: a group
+    slowed 4x by external load trips the threshold with unchanged
+    workload, which is exactly the adaptation the dynamic-environment
+    experiments measure.
+    """
+    rec = ctx.history.last_complete
+    if rec is None:
+        return False
+    totals = rec.group_totals(ctx.system)
+    norm = {}
+    for g in totals:
+        group = ctx.system.groups[g]
+        cap = group.capacity if time is None else group.capacity_at(time)
+        if cap <= 0.0:  # pragma: no cover - availability is floored
+            return True
+        norm[g] = totals[g] / cap
+    hi = max(norm.values())
+    lo = min(norm.values())
+    if hi <= 0.0:
+        return False
+    if lo <= 0.0:
+        return True
+    return hi / lo > ctx.scheme_params.imbalance_threshold
+
+
+class NeverRedistribute:
+    """No global phase ever fires (group-oblivious schemes)."""
+
+    def __init__(self) -> None:
+        self.decisions: List[Decision] = []
+
+    def imbalance_exists(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> bool:
+        return False
+
+    def estimate_gain(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> float:
+        return 0.0
+
+    def evaluate(
+        self, ctx: BalanceContext, plan: GlobalPlan, gain: float
+    ) -> Decision:  # pragma: no cover - unreachable behind imbalance gate
+        return Decision(
+            gain=gain, cost=0.0, gamma=ctx.scheme_params.gamma, invoke=False
+        )
+
+    def record_overhead(self, delta: float) -> None:  # pragma: no cover
+        return None
+
+
+class AlwaysRedistribute:
+    """Skip the cost gate: any detected positive-gain imbalance fires.
+
+    The ``gamma -> 0`` ablation as a standalone policy -- useful for
+    measuring what the Eq. 1 cost gate is actually worth.
+    """
+
+    def __init__(self) -> None:
+        self.decisions: List[Decision] = []
+
+    def imbalance_exists(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> bool:
+        return group_imbalance_exists(ctx, time)
+
+    def estimate_gain(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> float:
+        return estimate_gain(ctx.history, ctx.system, time=time)
+
+    def evaluate(
+        self, ctx: BalanceContext, plan: GlobalPlan, gain: float
+    ) -> Decision:
+        decision = Decision(
+            gain=gain, cost=0.0, gamma=ctx.scheme_params.gamma, invoke=True
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def record_overhead(self, delta: float) -> None:
+        return None
+
+
+class GainCostDecision:
+    """The paper's gate: probe the link, estimate Cost, ``Gain > gamma*Cost``.
+
+    Parameters
+    ----------
+    initial_delta:
+        Prior for the cost model's remembered computational overhead before
+        the first redistribution has been measured.
+    use_forecast:
+        Optional NWS-style smoothing of probed link parameters (the paper's
+        Section 6 future-work item); off by default -- the paper's scheme
+        uses the instantaneous probe.
+    """
+
+    def __init__(
+        self, initial_delta: float = 0.05, use_forecast: bool = False
+    ) -> None:
+        self.cost_model = CostModel(initial_delta=initial_delta)
+        self.decisions: List[Decision] = []
+        self.use_forecast = bool(use_forecast)
+        if self.use_forecast:
+            from ..forecast import AdaptiveForecaster
+
+            self._alpha_forecaster: Optional[AdaptiveForecaster] = (
+                AdaptiveForecaster()
+            )
+            self._beta_forecaster: Optional[AdaptiveForecaster] = (
+                AdaptiveForecaster()
+            )
+        else:
+            self._alpha_forecaster = None
+            self._beta_forecaster = None
+
+    def imbalance_exists(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> bool:
+        return group_imbalance_exists(ctx, time)
+
+    def estimate_gain(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> float:
+        return estimate_gain(ctx.history, ctx.system, time=time)
+
+    def evaluate(
+        self, ctx: BalanceContext, plan: GlobalPlan, gain: float
+    ) -> Decision:
+        migrate_bytes = plan.migrate_cells * ctx.sim_params.bytes_per_cell
+        # probe the busiest inter-group pair: max-load group vs min-load group
+        rec = ctx.history.last_complete
+        totals = rec.group_totals(ctx.system) if rec is not None else {}
+        if totals:
+            g_hi = max(totals, key=lambda g: (totals[g], g))
+            g_lo = min(totals, key=lambda g: (totals[g], g))
+        else:  # pragma: no cover - imbalance implies history
+            g_hi, g_lo = 0, 1
+        if g_hi == g_lo:
+            g_hi, g_lo = 0, 1
+        alpha, beta = ctx.sim.probe_inter_link(g_hi, g_lo)
+        if self._alpha_forecaster is not None and self._beta_forecaster is not None:
+            # fold the fresh probe into the forecasters, then predict the
+            # link state the migration will actually experience
+            self._alpha_forecaster.update(alpha)
+            self._beta_forecaster.update(beta)
+            alpha = self._alpha_forecaster.forecast() or alpha
+            beta = self._beta_forecaster.forecast() or beta
+        cost = self.cost_model.estimate(alpha, beta, migrate_bytes)
+        decision = decide(gain, cost, ctx.scheme_params.gamma)
+        self.decisions.append(decision)
+        return decision
+
+    def record_overhead(self, delta: float) -> None:
+        self.cost_model.record_overhead(delta)
+
+
+# --------------------------------------------------------------------- #
+# global partition policies
+# --------------------------------------------------------------------- #
+
+
+class FlatPartition:
+    """No group structure: one flat pool of processors, no global phase.
+
+    Initial distribution LPTs every level across *all* processors,
+    weight-proportionally -- on the paper's homogeneous testbed, an even
+    split.
+    """
+
+    def initial_distribution(
+        self, ctx: BalanceContext, weights: WeightPolicy
+    ) -> None:
+        t0 = weights.resolve_time(0.0)
+        for level in range(ctx.hierarchy.max_levels):
+            grids = ctx.hierarchy.level_grids(level)
+            if not grids:
+                continue
+            total = sum(g.workload for g in grids)
+            targets = processor_targets(ctx.system, total, t0)
+            for gid, pid in lpt_assign(grids, targets).items():
+                ctx.assignment.assign(gid, pid)
+
+    def active(self, ctx: BalanceContext) -> bool:
+        return False
+
+    def plan(
+        self, ctx: BalanceContext, time: Optional[float]
+    ) -> GlobalPlan:  # pragma: no cover - inactive partitions are not planned
+        return GlobalPlan()
+
+    def execute(
+        self, ctx: BalanceContext, plan: GlobalPlan, predicted_cost: float
+    ) -> float:  # pragma: no cover - inactive partitions never execute
+        return 0.0
+
+
+class ContiguousGroupPartition:
+    """Eq. 5: capacity-proportional split across contiguous group subdomains.
+
+    Level-0 grids are sorted along axis 0 and dealt to groups in contiguous
+    runs so each group owns a compact subdomain -- the paper's groups own
+    contiguous halves of the domain (Fig. 6).  The global phase shifts that
+    boundary via :func:`plan_global_redistribution`.
+    """
+
+    def initial_distribution(
+        self, ctx: BalanceContext, weights: WeightPolicy
+    ) -> None:
+        """Capacity-proportional split across groups, LPT within each group.
+
+        The fill is weighted by each root grid's *effective* (all-levels)
+        load, so an already adapted initial hierarchy starts balanced.
+        Descendant grids follow their root ancestor's group (children stay
+        with parents) and are LPT-balanced within it, level by level.
+        """
+        eff = effective_level0_loads(ctx)
+        grids = sorted(
+            ctx.hierarchy.level_grids(0), key=lambda g: (g.box.lo, g.gid)
+        )
+        total = sum(eff.values())
+        if total <= 0:
+            total = sum(g.workload for g in grids)
+            eff = {g.gid: g.workload for g in grids}
+        targets = group_targets(ctx.system, total, time=weights.resolve_time(0.0))
+        # contiguous fill: walk sorted grids, advance group when target met
+        order = sorted(targets)
+        gi = 0
+        filled = 0.0
+        root_group: Dict[int, int] = {}
+        for grid in grids:
+            if (
+                gi < len(order) - 1
+                and filled + eff[grid.gid] / 2.0 >= targets[order[gi]]
+            ):
+                gi += 1
+                filled = 0.0
+            root_group[grid.gid] = order[gi]
+            filled += eff[grid.gid]
+        # descendants inherit the root's group
+        grid_group: Dict[int, int] = {}
+        for root_gid, group_id in root_group.items():
+            for g in ctx.hierarchy.subtree(root_gid):
+                grid_group[g.gid] = group_id
+        # per level, per group: LPT among the group's processors
+        w0 = weights.processor_weights(ctx.system, 0.0)
+        for level in range(ctx.hierarchy.max_levels):
+            level_grids = ctx.hierarchy.level_grids(level)
+            for group in ctx.system.groups:
+                ggrids = [
+                    g for g in level_grids
+                    if grid_group[g.gid] == group.group_id
+                ]
+                if not ggrids:
+                    continue
+                gtotal = sum(g.workload for g in ggrids)
+                shares = proportional_shares(
+                    gtotal, [w0[p.pid] for p in group.processors]
+                )
+                ptargets = {p.pid: s for p, s in zip(group.processors, shares)}
+                for gid, pid in lpt_assign(ggrids, ptargets).items():
+                    ctx.assignment.assign(gid, pid)
+
+    def active(self, ctx: BalanceContext) -> bool:
+        return ctx.system.ngroups >= 2
+
+    def plan(self, ctx: BalanceContext, time: Optional[float]) -> GlobalPlan:
+        return plan_global_redistribution(ctx, time=time)
+
+    def execute(
+        self, ctx: BalanceContext, plan: GlobalPlan, predicted_cost: float
+    ) -> float:
+        _moved, _cells, delta = execute_global_redistribution(
+            ctx, plan, predicted_cost=predicted_cost
+        )
+        return delta
+
+
+# --------------------------------------------------------------------- #
+# local balance policies
+# --------------------------------------------------------------------- #
+
+
+class GlobalGreedyLocal:
+    """Group-oblivious greedy placement + all-processor even rebalancing.
+
+    The ICPP'01 parallel-DLB behaviour: new grids go to the globally
+    least-loaded processor (parent locality ignored -- the interpolated
+    initial data crosses the network once, the same traffic a migration
+    costs), and every level is evenly rebalanced over *all* processors.
+    """
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        if not new_gids:
+            return
+        level = ctx.hierarchy.grid(new_gids[0]).level
+        loads: Dict[int, float] = ctx.assignment.level_loads(level)
+        w = weights.processor_weights(ctx.system, ctx.sim.clock)
+        messages = []
+        for gid in sorted(new_gids, key=lambda g: -ctx.hierarchy.grid(g).workload):
+            grid = ctx.hierarchy.grid(gid)
+            pid = min(loads, key=lambda p: (loads[p] / w[p], p))
+            ctx.assignment.assign(gid, pid)
+            loads[pid] += grid.workload
+            parent_pid = ctx.assignment.pid_of(grid.parent_gid)
+            if parent_pid != pid:
+                messages.append(
+                    Message(parent_pid, pid,
+                            grid.ncells * ctx.sim_params.bytes_per_cell,
+                            MessageKind.MIGRATION)
+                )
+        if messages:
+            ctx.sim.run_comm(messages, level=level, purpose="placement",
+                             count_as_balance=True)
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        grids = ctx.hierarchy.level_grids(level)
+        if not grids:
+            return
+        total = sum(g.workload for g in grids)
+        targets = processor_targets(ctx.system, total, weights.resolve_time(time))
+        owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in grids}
+        moves = plan_rebalance(
+            grids,
+            owner_of,
+            targets,
+            tolerance=ctx.scheme_params.local_tolerance,
+            max_moves=ctx.scheme_params.max_local_moves,
+        )
+        execute_moves(ctx, moves, level=level, purpose="local-balance")
+
+
+class GroupLocal:
+    """Group-confined placement and rebalancing (paper Section 4.1).
+
+    New grids start on the least-loaded processor of the *parent's* group
+    -- "children grids are always located at the same group as their parent
+    grids" -- and each level is evenly rebalanced per group, so grids never
+    cross a group boundary outside the global phase.
+    """
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        if not new_gids:
+            return
+        level = ctx.hierarchy.grid(new_gids[0]).level
+        loads = ctx.assignment.level_loads(level)
+        w = weights.processor_weights(ctx.system, ctx.sim.clock)
+        for gid in sorted(new_gids, key=lambda g: -ctx.hierarchy.grid(g).workload):
+            grid = ctx.hierarchy.grid(gid)
+            parent_group = ctx.system.groups[
+                ctx.system.processor(
+                    ctx.assignment.pid_of(grid.parent_gid)
+                ).group_id
+            ]
+            pid = min(parent_group.pids, key=lambda p: (loads[p] / w[p], p))
+            ctx.assignment.assign(gid, pid)
+            loads[pid] += grid.workload
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        grids = ctx.hierarchy.level_grids(level)
+        if not grids:
+            return
+        w = weights.processor_weights(ctx.system, time)
+        for group in ctx.system.groups:
+            ggrids = [
+                g for g in grids
+                if ctx.assignment.group_of(g.gid) == group.group_id
+            ]
+            if not ggrids:
+                continue
+            gtotal = sum(g.workload for g in ggrids)
+            shares = proportional_shares(
+                gtotal, [w[p.pid] for p in group.processors]
+            )
+            targets = {p.pid: s for p, s in zip(group.processors, shares)}
+            owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in ggrids}
+            moves = plan_rebalance(
+                ggrids,
+                owner_of,
+                targets,
+                tolerance=ctx.scheme_params.local_tolerance,
+                max_moves=ctx.scheme_params.max_local_moves,
+            )
+            execute_moves(ctx, moves, level=level, purpose="local-balance")
+
+
+class StickyLocal:
+    """Zero-information placement, no rebalancing (the static control).
+
+    Children inherit the parent's processor (no movement, no cost), so all
+    adaptation-induced imbalance accumulates on whichever processors own
+    the refining regions.
+    """
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        for gid in new_gids:
+            parent_gid = ctx.hierarchy.grid(gid).parent_gid
+            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        return None
+
+
+class DiffusionLocal:
+    """First-order diffusive rebalancing on the complete processor graph.
+
+    New grids stay on the parent's processor; the next diffusion sweeps
+    spread them out.  This is how diffusion schemes are actually used:
+    adaptation dumps load locally, diffusion erodes the pile (Cybenko;
+    heterogeneity honoured the way Elsasser et al. generalize diffusion --
+    loads diffused in capacity-normalised space).
+
+    Parameters
+    ----------
+    sweeps:
+        Diffusion sweeps applied per balancing opportunity (each sweep is
+        one neighbourhood-averaging step; more sweeps converge faster at
+        the price of more migration churn).
+    """
+
+    def __init__(self, sweeps: int = 1) -> None:
+        if sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {sweeps}")
+        self.sweeps = int(sweeps)
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        for gid in new_gids:
+            parent_gid = ctx.hierarchy.grid(gid).parent_gid
+            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        grids = ctx.hierarchy.level_grids(level)
+        if not grids:
+            return
+        w = weights.processor_weights(ctx.system, time)
+        loads = {pid: 0.0 for pid in w}
+        for g in grids:
+            loads[ctx.assignment.pid_of(g.gid)] += g.workload
+        targets = self._diffusion_targets(loads, w)
+        owner_of = {g.gid: ctx.assignment.pid_of(g.gid) for g in grids}
+        moves = plan_rebalance(
+            grids,
+            owner_of,
+            targets,
+            tolerance=ctx.scheme_params.local_tolerance,
+            max_moves=ctx.scheme_params.max_local_moves,
+        )
+        execute_moves(ctx, moves, level=level, purpose="local-balance")
+
+    def _diffusion_targets(
+        self, loads: Dict[int, float], weights: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Loads after ``sweeps`` neighbourhood-averaging steps.
+
+        Diffusion runs in capacity-normalised space (load per unit weight),
+        then converts back, which is the heterogeneous generalization.  On
+        the complete graph with uniform alpha = 1/n each sweep moves the
+        normalised loads a fraction ``(n-1)/n`` of the way to the mean.
+        """
+        n = len(loads)
+        if n <= 1:
+            return dict(loads)
+        alpha = 1.0 / n
+        norm = {pid: loads[pid] / weights[pid] for pid in loads}
+        for _ in range(self.sweeps):
+            total = sum(norm.values())
+            norm = {
+                pid: v + alpha * (total - n * v) for pid, v in norm.items()
+            }
+        return {pid: norm[pid] * weights[pid] for pid in loads}
+
+
+# --------------------------------------------------------------------- #
+# component registries + builder
+# --------------------------------------------------------------------- #
+
+WEIGHT_POLICIES: Dict[str, Type[Any]] = {
+    "nominal": NominalWeights,
+    "measured": MeasuredWeights,
+}
+
+DECISION_POLICIES: Dict[str, Type[Any]] = {
+    "never": NeverRedistribute,
+    "always": AlwaysRedistribute,
+    "gain-cost": GainCostDecision,
+}
+
+GLOBAL_POLICIES: Dict[str, Type[Any]] = {
+    "flat": FlatPartition,
+    "proportional": ContiguousGroupPartition,
+}
+
+LOCAL_POLICIES: Dict[str, Type[Any]] = {
+    "greedy": GlobalGreedyLocal,
+    "group": GroupLocal,
+    "sticky": StickyLocal,
+    "diffusion": DiffusionLocal,
+}
+
+#: axis name -> component table, for introspection and extension
+POLICY_REGISTRIES: Dict[str, Dict[str, Type[Any]]] = {
+    "weights": WEIGHT_POLICIES,
+    "decision": DECISION_POLICIES,
+    "global_partition": GLOBAL_POLICIES,
+    "local": LOCAL_POLICIES,
+}
+
+
+def _lookup(axis: str, name: str) -> Type[Any]:
+    table = POLICY_REGISTRIES[axis]
+    if name not in table:
+        known = ", ".join(sorted(table))
+        raise ValueError(
+            f"unknown {axis} policy {name!r}; known: {known}"
+        )
+    return table[name]
+
+
+def _instantiate(cls: Type[Any], options: Mapping[str, Any],
+                 consumed: set) -> Any:
+    params = inspect.signature(cls.__init__).parameters
+    kwargs = {k: v for k, v in options.items() if k in params and k != "self"}
+    consumed.update(kwargs)
+    return cls(**kwargs)
+
+
+def build_policies(spec: "SchemeSpec") -> Dict[str, Any]:
+    """Instantiate one policy per axis from a scheme spec.
+
+    ``spec.options`` entries are routed to whichever policy constructors
+    accept a parameter of that name; an option no constructor accepts is an
+    error (it would otherwise be silently ignored -- and silently change
+    the cache key).
+    """
+    consumed: set = set()
+    built = {
+        "weights": _instantiate(
+            _lookup("weights", spec.weights), spec.options, consumed),
+        "decision": _instantiate(
+            _lookup("decision", spec.decision), spec.options, consumed),
+        "global_partition": _instantiate(
+            _lookup("global_partition", spec.global_partition),
+            spec.options, consumed),
+        "local": _instantiate(
+            _lookup("local", spec.local), spec.options, consumed),
+    }
+    leftover = set(spec.options) - consumed
+    if leftover:
+        raise ValueError(
+            f"scheme {spec.name!r}: options {sorted(leftover)} not accepted "
+            f"by any of its policies"
+        )
+    return built

@@ -8,43 +8,33 @@ zero-communication policy -- so all adaptation-induced imbalance accumulates
 on whichever processors own the refining regions.
 
 Used by the ``value of DLB`` ablation and available to users as a control.
+As a composition: the parallel baseline's flat initial partition with the
+sticky local policy and no balancing of any kind afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from .composed import ComposedScheme
+from .policies import build_policies
+from .registry import SchemeSpec, register_scheme
 
-from ..partition.proportional import processor_targets
-from .base import BalanceContext, DLBScheme
-from .local_phase import lpt_assign
+__all__ = ["StaticDLB", "STATIC_SPEC"]
 
-__all__ = ["StaticDLB"]
+STATIC_SPEC = SchemeSpec(
+    name="static",
+    display="static (no DLB)",
+    weights="nominal",
+    decision="never",
+    global_partition="flat",
+    local="sticky",
+)
 
 
-class StaticDLB(DLBScheme):
+class StaticDLB(ComposedScheme):
     """Initial distribution only; no balancing of any kind afterwards."""
 
-    name = "static (no DLB)"
+    def __init__(self) -> None:
+        super().__init__(STATIC_SPEC, **build_policies(STATIC_SPEC))
 
-    def initial_distribution(self, ctx: BalanceContext) -> None:
-        """LPT of the initial hierarchy across all processors, per level."""
-        for level in range(ctx.hierarchy.max_levels):
-            grids = ctx.hierarchy.level_grids(level)
-            if not grids:
-                continue
-            total = sum(g.workload for g in grids)
-            targets = processor_targets(ctx.system, total)
-            for gid, pid in lpt_assign(grids, targets).items():
-                ctx.assignment.assign(gid, pid)
 
-    def place_new_grids(self, ctx: BalanceContext, new_gids: Sequence[int]) -> None:
-        """Children inherit the parent's processor (no movement, no cost)."""
-        for gid in new_gids:
-            parent_gid = ctx.hierarchy.grid(gid).parent_gid
-            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
-
-    def local_balance(self, ctx: BalanceContext, level: int, time: float) -> None:
-        return None
-
-    def global_balance(self, ctx: BalanceContext, time: float) -> None:
-        return None
+register_scheme(STATIC_SPEC, lambda spec: StaticDLB())

@@ -9,7 +9,7 @@ straight from this log, and tests assert scheme behaviour against it (e.g.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Type, TypeVar
 
 __all__ = [

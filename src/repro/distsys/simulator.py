@@ -14,11 +14,10 @@ alpha and beta".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..obs import NULL_TRACER, Tracer
-from .comm import CommPhaseResult, Message, MessageKind, comm_phase_time
+from .comm import CommPhaseResult, Message, comm_phase_time
 from .events import (
     CommEvent,
     ComputeEvent,

@@ -12,8 +12,7 @@ Factory helpers build the paper's three testbed shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from .group import Group
 from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect

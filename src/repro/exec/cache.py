@@ -3,8 +3,9 @@
 Every ``(ExperimentConfig, scheme)`` run of the simulator is fully
 deterministic, so its result is a pure function of the configuration.  This
 module hashes a *canonical* recursive serialization of the config (nested
-``SimParams`` / ``SchemeParams`` / ``FaultParams`` included), the scheme
-name and a code-version salt into a key, and stores the result as JSON under
+``SimParams`` / ``SchemeParams`` / ``FaultParams`` included), the scheme's
+registered :class:`~repro.core.registry.SchemeSpec` and a code-version salt
+into a key, and stores the result as JSON under
 ``<cache_dir>/<key[:2]>/<key>.json`` -- the layout used by git's loose
 object store, keeping directories small for big sweeps.
 
@@ -12,7 +13,10 @@ Invalidation rules (see docs/PERFORMANCE.md):
 
 * any config field change -- including inside nested dataclasses -- changes
   the key;
-* the scheme name is part of the key;
+* the scheme's full policy composition (not just its name) is part of the
+  key, via :func:`repro.core.registry.scheme_cache_payload` -- so a custom
+  scheme registered under a reused name can never be served another
+  scheme's results;
 * the salt folds in the package version and a cache schema version, so
   bumping either orphans old entries (they are simply never hit again);
 * unreadable, truncated or wrong-version entries are treated as misses and
@@ -33,7 +37,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Union
 
 from .. import __version__
 
@@ -48,8 +52,9 @@ __all__ = [
 ]
 
 #: bump when the cached payload layout (or run semantics) change; folded
-#: into every key, so old entries silently become unreachable
-CACHE_SCHEMA_VERSION = 1
+#: into every key, so old entries silently become unreachable.
+#: v2: keys hash the scheme's canonical SchemeSpec instead of its bare name
+CACHE_SCHEMA_VERSION = 2
 
 #: the code-version salt: results are only reused within the same package
 #: version and cache schema
@@ -91,8 +96,19 @@ def canonical_json(obj: Any) -> str:
 
 
 def task_key(config: Any, scheme: str, salt: str = CODE_VERSION_SALT) -> str:
-    """SHA-256 content address of one ``(config, scheme)`` run."""
-    text = f"{salt}\n{scheme}\n{canonical_json(config)}"
+    """SHA-256 content address of one ``(config, scheme)`` run.
+
+    ``scheme`` is resolved through the registry to its canonical
+    :class:`~repro.core.registry.SchemeSpec` serialization (the
+    ``"sequential"`` pseudo-scheme hashes a marker payload), so the address
+    captures the scheme's actual policy composition.  Unknown scheme names
+    raise the registry's ``ValueError`` -- the same error the run itself
+    would hit, just before any work is done.
+    """
+    from ..core.registry import scheme_cache_payload
+
+    text = (f"{salt}\n{canonical_json(scheme_cache_payload(scheme))}\n"
+            f"{canonical_json(config)}")
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

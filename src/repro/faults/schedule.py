@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Tuple
 
 from .load import MAX_CPU_OCCUPANCY, ComposedLoad, LoadModel, NoLoad, WindowLoad
 

@@ -16,8 +16,7 @@ from typing import Optional
 
 from ..amr.applications import AMR64, AMRApplication, BlastWave, ShockPool3D
 from ..config import FaultParams, SchemeParams, SimParams
-from ..core import DistributedDLB, ParallelDLB, StaticDLB
-from ..core.base import DLBScheme
+from ..core.registry import SEQUENTIAL, make_scheme
 from ..distsys import (
     BurstyTraffic,
     ConstantTraffic,
@@ -205,18 +204,6 @@ def make_faults(cfg: ExperimentConfig) -> Optional[FaultSchedule]:
     return FaultSchedule(faults, seed=fp.seed)
 
 
-def make_scheme(scheme_name: str) -> DLBScheme:
-    """Scheme instance by name: ``"parallel"``, ``"distributed"`` or
-    ``"static"`` (the no-DLB control)."""
-    if scheme_name == "parallel":
-        return ParallelDLB()
-    if scheme_name == "distributed":
-        return DistributedDLB()
-    if scheme_name == "static":
-        return StaticDLB()
-    raise ValueError(f"unknown scheme {scheme_name!r}")
-
-
 def _apply_seed(cfg: ExperimentConfig, seed: Optional[int]) -> ExperimentConfig:
     """``seed`` overrides the config's traffic seed (the one stochastic
     input of a run); ``None`` leaves the config untouched."""
@@ -239,8 +226,10 @@ def run_experiment(
     Parameters
     ----------
     config / scheme:
-        What to run: the pinned experiment and the DLB policy
-        (``"distributed"`` by default; also ``"parallel"``, ``"static"``).
+        What to run: the pinned experiment and the DLB policy -- any name
+        from :func:`repro.core.registry.available_schemes`
+        (``"distributed"`` by default; the built-ins are ``"parallel"``,
+        ``"static"`` and ``"diffusion"``).
     executor:
         Optional :class:`repro.exec.Executor` to submit through (cache +
         worker pool); ``None`` runs in-process.
@@ -314,11 +303,10 @@ def execute_scheme(
 ) -> RunResult:
     """Task dispatcher for :mod:`repro.exec` workers.
 
-    ``scheme`` is a real scheme (``"parallel"``, ``"distributed"``,
-    ``"static"``) or the pseudo-scheme ``"sequential"`` for the ``E(1)``
-    reference.
+    ``scheme`` is any registered scheme name or the pseudo-scheme
+    ``"sequential"`` for the ``E(1)`` reference.
     """
-    if scheme == "sequential":
+    if scheme == SEQUENTIAL:
         return run_sequential(config, tracer=tracer)
     return run_experiment(config, scheme, tracer=tracer)
 
@@ -342,7 +330,7 @@ def run_sequential(
     runner = SAMRRunner(
         make_app(seq_cfg),
         parallel_system(1, base_speed=cfg.base_speed),
-        ParallelDLB(),
+        make_scheme("parallel"),
         sim_params=cfg.sim_params,
         scheme_params=cfg.effective_scheme_params(),
         tracer=tracer,

@@ -14,21 +14,16 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..amr.applications import ShockPool3D
-from ..amr.box import Box
 from ..amr.hierarchy import GridHierarchy
 from ..amr.integrator import integration_order
-from ..amr.regrid import RegridParams, regrid_level
-from ..core import DistributedDLB, ParallelDLB
+from ..amr.regrid import regrid_level
+from ..core import DistributedDLB
 from ..distsys.events import (
-    CommEvent,
     ComputeEvent,
     GlobalDecisionEvent,
     LocalBalanceEvent,
-    ProbeEvent,
     RedistributionEvent,
-    RegridEvent,
 )
-from ..metrics.timing import RunResult
 from ..runtime import SAMRRunner, root_blocks
 from .experiment import ExperimentConfig, make_app, make_system, run_experiment
 from .report import format_percent, format_table
@@ -269,9 +264,6 @@ def fig5_balance_points(cfg: Optional[ExperimentConfig] = None) -> Fig5Result:
                                   procs_per_group=2, steps=2, max_levels=3)
     result = run_experiment(cfg, "distributed")
     events = list(result.events)
-    # Walk the final coarse step: map each solver event to the balance
-    # events that follow it (before the next solver event).
-    compute_idx = [i for i, e in enumerate(events) if isinstance(e, ComputeEvent)]
     # take the last coarse step: from the last GlobalDecisionEvent on
     last_decision = max(
         i for i, e in enumerate(events) if isinstance(e, GlobalDecisionEvent)

@@ -9,12 +9,11 @@ counts rather than dumped).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, replace
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from ..config import FaultParams, SchemeParams, SimParams
-from ..distsys.events import EventLog
 from ..metrics.timing import RunResult
 from .replication import ReplicatedResult
 from .sweep import PairedResult, SweepResult
@@ -121,6 +120,7 @@ def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> None:
                         else None
                     ),
                 },
+                "scheme_names": list(p.scheme_names),
                 "parallel": run_result_to_dict(p.parallel),
                 "distributed": run_result_to_dict(p.distributed),
                 "sequential": (
@@ -157,6 +157,7 @@ def load_sweep(path: Union[str, Path]) -> SweepResult:
                     if p["sequential"] is not None
                     else None
                 ),
+                scheme_names=_scheme_names(p),
             )
         )
     return SweepResult(pairs=pairs)
@@ -206,9 +207,19 @@ def _config_from_dict(data: Dict):
     return ExperimentConfig(**fields)
 
 
+def _scheme_names(data: Dict):
+    """The pair's scheme names; pre-registry files default to the paper's
+    parallel/distributed pairing (which is all they could hold)."""
+    from .sweep import DEFAULT_SCHEMES
+
+    names = data.get("scheme_names")
+    return tuple(names) if names is not None else DEFAULT_SCHEMES
+
+
 def _paired_to_dict(pair: PairedResult) -> Dict:
     return {
         "config": _config_to_dict(pair.config),
+        "scheme_names": list(pair.scheme_names),
         "parallel": run_result_to_dict(pair.parallel),
         "distributed": run_result_to_dict(pair.distributed),
         "sequential": (
@@ -229,6 +240,7 @@ def _paired_from_dict(data: Dict) -> PairedResult:
             if data.get("sequential") is not None
             else None
         ),
+        scheme_names=_scheme_names(data),
     )
 
 

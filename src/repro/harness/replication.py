@@ -17,7 +17,7 @@ from ..exec import ExecStats, ExecTask, Executor, get_default_executor
 from ..obs import Tracer
 from .deprecation import apply_legacy_positionals
 from .experiment import ExperimentConfig
-from .sweep import PairedResult, _collect_spans
+from .sweep import DEFAULT_SCHEMES, PairedResult, _collect_spans, _scheme_pair
 
 __all__ = ["ReplicatedResult", "replicate"]
 
@@ -78,11 +78,15 @@ def replicate(
     *legacy,
     seeds: Optional[Sequence[int]] = None,
     traffic_kind: str = "bursty",
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     executor: Optional[Executor] = None,
     tracer: Optional[Tracer] = None,
     seed: Optional[int] = None,
 ) -> ReplicatedResult:
     """Run the paired experiment once per traffic seed.
+
+    ``schemes`` names the (baseline, treatment) pair replicated at every
+    seed; any registered scheme names work.
 
     ``traffic_kind`` defaults to bursty because only seeded traffic models
     vary between replicates; with constant traffic every replicate is
@@ -105,6 +109,7 @@ def replicate(
         seeds = (seed, seed + 1, seed + 2) if seed is not None else (1, 2, 3)
     elif not seeds:
         raise ValueError("seeds must be non-empty")
+    pair = _scheme_pair(schemes)
     cfg = config
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None
@@ -114,13 +119,14 @@ def replicate(
     ]
     tasks: List[ExecTask] = []
     for run_cfg in configs:
-        tasks.append(ExecTask(run_cfg, "parallel", use_cache=not trace, trace=trace))
-        tasks.append(ExecTask(run_cfg, "distributed", use_cache=not trace, trace=trace))
+        for name in pair:
+            tasks.append(ExecTask(run_cfg, name, use_cache=not trace,
+                                  trace=trace))
     results = ex.run_tasks(tasks)
     _collect_spans(tracer, results)
     pairs = [
         PairedResult(config=run_cfg, parallel=results[2 * i],
-                     distributed=results[2 * i + 1])
+                     distributed=results[2 * i + 1], scheme_names=pair)
         for i, run_cfg in enumerate(configs)
     ]
     return ReplicatedResult(config=cfg, seeds=list(seeds), pairs=pairs,

@@ -17,7 +17,7 @@ paths produce bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import FaultParams
 from ..exec import ExecStats, ExecTask, Executor, get_default_executor
@@ -37,10 +37,30 @@ def _collect_spans(tracer: Optional[Tracer], results: Sequence[RunResult]) -> No
             tracer.extend(r.spans)
 
 __all__ = ["PairedResult", "SweepResult", "run_paired", "run_sweep",
-           "run_fault_scenarios", "PAPER_CONFIGS", "FAULT_SWEEP_SCENARIOS"]
+           "run_fault_scenarios", "PAPER_CONFIGS", "DEFAULT_SCHEMES",
+           "FAULT_SWEEP_SCENARIOS"]
+
+
+def _scheme_pair(schemes: Sequence[str]) -> "Tuple[str, str]":
+    """Validate a (baseline, treatment) pair against the registry.
+
+    Resolving the names up front turns a typo into an immediate error
+    naming the registered schemes, instead of a mid-batch worker failure.
+    """
+    pair = tuple(schemes)
+    if len(pair) != 2:
+        raise ValueError(f"schemes must name exactly two schemes, got {pair!r}")
+    from ..core.registry import get_scheme_spec
+
+    for name in pair:
+        get_scheme_spec(name)  # raises ValueError for unknown names
+    return pair
 
 #: the paper's processor configurations (procs per group)
 PAPER_CONFIGS = (1, 2, 4, 6, 8)
+
+#: the paper's pairing: the ICPP'01 baseline vs the contributed scheme
+DEFAULT_SCHEMES: Tuple[str, str] = ("parallel", "distributed")
 
 #: the fault scenarios the resilience sweep runs ("none" is the control)
 FAULT_SWEEP_SCENARIOS = ("none", "slowdown", "dropout", "cpu-load",
@@ -49,16 +69,25 @@ FAULT_SWEEP_SCENARIOS = ("none", "slowdown", "dropout", "cpu-load",
 
 @dataclass
 class PairedResult:
-    """Both schemes on one configuration (plus the sequential reference)."""
+    """Both schemes on one configuration (plus the sequential reference).
+
+    The fields keep their historical names -- ``parallel`` is the baseline
+    (first) run and ``distributed`` the treatment (second) run -- even when
+    ``scheme_names`` records a different registered pairing, e.g.
+    ``run_paired(cfg, schemes=("parallel", "diffusion"))``.
+    """
 
     config: ExperimentConfig
     parallel: RunResult
     distributed: RunResult
     sequential: Optional[RunResult] = None
+    #: which registered schemes the two runs actually used
+    scheme_names: Tuple[str, str] = DEFAULT_SCHEMES
 
     @property
     def improvement(self) -> float:
-        """Relative execution-time improvement of distributed over parallel."""
+        """Relative execution-time improvement of the treatment (second)
+        scheme over the baseline (first) scheme."""
         return self.distributed.improvement_over(self.parallel)
 
     @property
@@ -109,17 +138,20 @@ class SweepResult:
 def run_paired(
     config: ExperimentConfig,
     *legacy,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     with_sequential: bool = False,
     executor: Optional[Executor] = None,
     tracer: Optional[Tracer] = None,
     seed: Optional[int] = None,
 ) -> PairedResult:
-    """Run parallel DLB then distributed DLB on one pinned configuration.
+    """Run a baseline/treatment scheme pair on one pinned configuration.
 
-    All options are keyword-only: ``with_sequential`` adds the ``E(1)``
-    reference run, ``executor`` overrides the default execution engine,
-    ``tracer`` traces every run (spans merged into it, one track per run),
-    and ``seed`` overrides the config's traffic seed.
+    All options are keyword-only: ``schemes`` names the (baseline,
+    treatment) pair -- any two registered scheme names, defaulting to the
+    paper's parallel-vs-distributed pairing -- ``with_sequential`` adds the
+    ``E(1)`` reference run, ``executor`` overrides the default execution
+    engine, ``tracer`` traces every run (spans merged into it, one track
+    per run), and ``seed`` overrides the config's traffic seed.
     """
     kwargs = apply_legacy_positionals(
         "run_paired", ("with_sequential", "executor"), legacy,
@@ -127,11 +159,12 @@ def run_paired(
         {"with_sequential": False, "executor": None},
     )
     with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
+    pair = _scheme_pair(schemes)
     cfg = _apply_seed(config, seed)
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None
-    tasks = [ExecTask(cfg, "parallel", use_cache=not trace, trace=trace),
-             ExecTask(cfg, "distributed", use_cache=not trace, trace=trace)]
+    tasks = [ExecTask(cfg, name, use_cache=not trace, trace=trace)
+             for name in pair]
     if with_sequential:
         tasks.append(ExecTask(sequential_config(cfg), "sequential",
                               use_cache=not trace, trace=trace))
@@ -142,6 +175,7 @@ def run_paired(
         parallel=results[0],
         distributed=results[1],
         sequential=results[2] if with_sequential else None,
+        scheme_names=pair,
     )
 
 
@@ -149,6 +183,7 @@ def run_sweep(
     config: ExperimentConfig,
     *legacy,
     procs_per_group: Sequence[int] = PAPER_CONFIGS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     with_sequential: bool = False,
     executor: Optional[Executor] = None,
     tracer: Optional[Tracer] = None,
@@ -156,8 +191,10 @@ def run_sweep(
 ) -> SweepResult:
     """Run the paired experiment over a series of configurations.
 
-    The sequential reference (needed for Fig. 8) is workload-identical
-    across configurations, so it is run once and shared.  The whole series
+    ``schemes`` names the (baseline, treatment) pair run on every
+    configuration; any registered scheme names work.  The sequential
+    reference (needed for Fig. 8) is workload-identical across
+    configurations, so it is run once and shared.  The whole series
     -- sequential reference plus both schemes of every configuration -- is
     submitted as one batch, so a parallel executor overlaps everything.
     """
@@ -171,6 +208,7 @@ def run_sweep(
     )
     procs_per_group = kwargs["procs_per_group"]
     with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
+    pair = _scheme_pair(schemes)
     base = _apply_seed(config, seed)
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None
@@ -180,8 +218,8 @@ def run_sweep(
                               use_cache=not trace, trace=trace))
     configs = [replace(base, procs_per_group=n) for n in procs_per_group]
     for cfg in configs:
-        tasks.append(ExecTask(cfg, "parallel", use_cache=not trace, trace=trace))
-        tasks.append(ExecTask(cfg, "distributed", use_cache=not trace, trace=trace))
+        for name in pair:
+            tasks.append(ExecTask(cfg, name, use_cache=not trace, trace=trace))
     results = ex.run_tasks(tasks)
     _collect_spans(tracer, results)
     seq = results[0] if with_sequential else None
@@ -192,6 +230,7 @@ def run_sweep(
             parallel=results[offset + 2 * i],
             distributed=results[offset + 2 * i + 1],
             sequential=seq,
+            scheme_names=pair,
         )
         for i, cfg in enumerate(configs)
     ]
@@ -202,6 +241,7 @@ def run_fault_scenarios(
     config: ExperimentConfig,
     *legacy,
     scenarios: Sequence[str] = FAULT_SWEEP_SCENARIOS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     executor: Optional[Executor] = None,
     need_events: bool = True,
     tracer: Optional[Tracer] = None,
@@ -230,6 +270,7 @@ def run_fault_scenarios(
     )
     scenarios, executor = kwargs["scenarios"], kwargs["executor"]
     need_events = kwargs["need_events"]
+    pair = _scheme_pair(schemes)
     base = _apply_seed(config, seed)
     template = base.fault if base.fault is not None else FaultParams()
     ex = executor if executor is not None else get_default_executor()
@@ -240,8 +281,8 @@ def run_fault_scenarios(
         fault = None if scenario == "none" else replace(template, scenario=scenario)
         cfg = replace(base, fault=fault)
         configs.append(cfg)
-        tasks.append(ExecTask(cfg, "parallel", use_cache=not trace, trace=trace))
-        tasks.append(ExecTask(cfg, "distributed",
+        tasks.append(ExecTask(cfg, pair[0], use_cache=not trace, trace=trace))
+        tasks.append(ExecTask(cfg, pair[1],
                               use_cache=not (need_events or trace), trace=trace))
     results = ex.run_tasks(tasks)
     _collect_spans(tracer, results)
@@ -251,5 +292,6 @@ def run_fault_scenarios(
             config=configs[i],
             parallel=results[2 * i],
             distributed=results[2 * i + 1],
+            scheme_names=pair,
         )
     return out

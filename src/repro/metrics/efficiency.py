@@ -9,7 +9,6 @@ for sequential execution."  (Section 5, citing Chen's thesis.)
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..distsys.system import DistributedSystem
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Mapping
 
 __all__ = ["imbalance_ratio", "max_min_ratio", "normalized_std"]
 

@@ -15,7 +15,7 @@ reconstructed completely from the grids at level 0").
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..amr.grid import Grid
 from ..amr.hierarchy import GridHierarchy

@@ -29,6 +29,15 @@ EXPECTED_API = [
     "FaultParams",
     "ExecParams",
     "sequential_config",
+    # schemes: policy protocols + registry
+    "WeightPolicy",
+    "DecisionPolicy",
+    "GlobalPartitionPolicy",
+    "LocalBalancePolicy",
+    "SchemeSpec",
+    "register_scheme",
+    "available_schemes",
+    "make_scheme",
     # entry points
     "quick_run",
     "run_experiment",

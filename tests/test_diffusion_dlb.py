@@ -6,7 +6,6 @@ import pytest
 
 from repro.amr.applications import ShockPool3D
 from repro.core import DiffusionDLB, DistributedDLB
-from repro.core.diffusion_dlb import DiffusionDLB as _D
 from repro.distsys import ConstantTraffic, wan_system
 from repro.metrics.imbalance import imbalance_ratio
 from repro.runtime import SAMRRunner

@@ -12,7 +12,7 @@ import pytest
 
 from repro import quick_run
 from repro.amr.applications import BlastWave, ShockPool3D
-from repro.core import DistributedDLB, ParallelDLB
+from repro.core import DistributedDLB
 from repro.distsys import ConstantTraffic, wan_system
 from repro.distsys.events import GlobalDecisionEvent, RedistributionEvent
 from repro.harness import ExperimentConfig, run_experiment, run_paired
@@ -105,7 +105,8 @@ class TestSchemeDynamics:
         rate, so a correct gate sees little gain and rarely fires."""
         app = BlastWave(domain_cells=16, max_levels=3)
         shock = ShockPool3D(domain_cells=16, max_levels=3)
-        system = lambda: wan_system(2, ConstantTraffic(0.3), base_speed=2e4)
+        def system():
+            return wan_system(2, ConstantTraffic(0.3), base_speed=2e4)
         blast = SAMRRunner(app, system(), DistributedDLB()).run(4)
         moving = SAMRRunner(shock, system(), DistributedDLB()).run(4)
         assert blast.redistributions <= moving.redistributions

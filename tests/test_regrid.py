@@ -6,8 +6,6 @@ import numpy as np
 import pytest
 
 from repro.amr.box import Box
-from repro.amr.clustering import ClusterParams
-from repro.amr.flagging import FlagField
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.regrid import RegridParams, assemble_flags, regrid_level
 from repro.runtime import root_blocks

@@ -8,7 +8,6 @@ import pytest
 
 from repro.harness import (
     ExperimentConfig,
-    ReplicatedResult,
     fig3_to_csv,
     fig8_to_csv,
     replicate,

@@ -122,14 +122,6 @@ class TestParallelPlacementCost:
         parent = ctx.hierarchy.level_grids(0)[0]
         parent_pid = ctx.assignment.pid_of(parent.gid)
         child = ctx.hierarchy.add_grid(1, parent.box.refine(2), parent.gid)
-        # preload level-1 loads so the least-loaded processor is remote
-        other_group_pid = next(
-            p.pid for p in ctx.system.processors
-            if ctx.system.processor(p.pid).group_id
-            != ctx.system.processor(parent_pid).group_id
-        )
-        for g in ctx.hierarchy.level_grids(0):
-            pass  # level-0 loads don't matter for level-1 placement
         clock = ctx.sim.clock
         scheme.place_new_grids(ctx, [child.gid])
         placed = ctx.assignment.pid_of(child.gid)

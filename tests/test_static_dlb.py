@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.amr.applications import ShockPool3D
 from repro.core import DistributedDLB, StaticDLB
