@@ -1,0 +1,115 @@
+"""Trace replay benchmark: re-balancing a recorded workload vs the full run.
+
+The point of :mod:`repro.traces` is that exploring schemes / gamma / fault
+schedules over a fixed workload should not pay for the AMR solver and the
+clustering pipeline again and again.  This bench records one mid-size run,
+then measures three things honestly on the same machine:
+
+* the wall-clock of the full solver run,
+* the wall-clock of replaying its trace under the identical scheme+system
+  (which must also be *bit-for-bit identical* in result -- the golden
+  equivalence contract of docs/TRACES.md),
+* the trace file's compressed size.
+
+The numbers land in ``BENCH_replay.json`` at the repo root.  Acceptance:
+replay is >= 10x faster than the full run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.persist import run_result_to_dict
+from repro.harness.report import format_table
+from repro.traces import record_run, replay_trace, write_trace
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_replay.json"
+
+#: mid-size run: large enough that the solver + clustering dominate, small
+#: enough for CI (the full run is a few seconds)
+CONFIG = ExperimentConfig(app_name="shockpool3d", network="wan",
+                          procs_per_group=4, steps=3, domain_cells=32,
+                          max_levels=3)
+SCHEME = "distributed"
+
+
+def _scenario(tmp_dir: Path):
+    t0 = time.perf_counter()
+    full = run_experiment(CONFIG, SCHEME)
+    full_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    recorded, trace = record_run(CONFIG, SCHEME)
+    record_s = time.perf_counter() - t0
+
+    trace_path = tmp_dir / "bench.trace.jsonl.gz"
+    trace_bytes = write_trace(trace, trace_path)
+
+    t0 = time.perf_counter()
+    replayed = replay_trace(trace, CONFIG, SCHEME, strict=True)
+    replay_s = time.perf_counter() - t0
+
+    # replaying under a different gamma, the actual use case, costs the same
+    t0 = time.perf_counter()
+    replay_trace(trace, CONFIG, SCHEME, seed=CONFIG.traffic_seed)
+    replay2_s = time.perf_counter() - t0
+
+    identical = (
+        run_result_to_dict(full) == run_result_to_dict(recorded)
+        == run_result_to_dict(replayed)
+    )
+    return {
+        "benchmark": "trace-replay",
+        "config": {
+            "app": CONFIG.app_name,
+            "network": CONFIG.network,
+            "procs_per_group": CONFIG.procs_per_group,
+            "steps": CONFIG.steps,
+            "domain_cells": CONFIG.domain_cells,
+            "max_levels": CONFIG.max_levels,
+            "scheme": SCHEME,
+        },
+        "cpu_count": os.cpu_count(),
+        "full_run_seconds": full_s,
+        "record_overhead_seconds": record_s - full_s,
+        "replay_seconds": replay_s,
+        "replay_repeat_seconds": replay2_s,
+        "trace_records": len(trace.records),
+        "trace_file_bytes": trace_bytes,
+        "speedup": full_s / replay_s,
+        "identical_results": identical,
+    }
+
+
+def test_replay_speedup(once, benchmark, tmp_path):
+    record = once(benchmark, _scenario, tmp_path)
+
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ("full solver run", record["full_run_seconds"], 1.0),
+        ("record (overhead over full)",
+         record["full_run_seconds"] + record["record_overhead_seconds"],
+         record["full_run_seconds"]
+         / (record["full_run_seconds"] + record["record_overhead_seconds"])),
+        ("trace replay", record["replay_seconds"], record["speedup"]),
+    ]
+    print()
+    print(format_table(
+        ["execution path", "wall-clock [s]", "speedup vs full"], rows,
+        title=f"{record['config']['app']} {record['config']['domain_cells']}^3"
+              f" x{record['config']['steps']} steps, trace "
+              f"{record['trace_file_bytes']} bytes -> {BENCH_PATH.name}",
+    ))
+
+    assert record["identical_results"], (
+        "replay is not bit-for-bit identical to the recorded run"
+    )
+    assert record["speedup"] >= 10.0, (
+        f"expected replay >= 10x faster than the full run, got "
+        f"{record['speedup']:.2f}x"
+    )

@@ -30,7 +30,8 @@ from .flagging import FlagField, buffer_flags
 from .grid import Grid
 from .hierarchy import GridHierarchy
 
-__all__ = ["RegridParams", "regrid_level", "assemble_flags"]
+__all__ = ["RegridParams", "regrid_level", "plan_regrid", "apply_cluster_boxes",
+           "assemble_flags"]
 
 
 @dataclass(frozen=True)
@@ -71,25 +72,24 @@ def assemble_flags(hierarchy: GridHierarchy, app, level: int, time: float) -> Fl
     return FlagField(bound, flags)
 
 
-def regrid_level(
+def plan_regrid(
     hierarchy: GridHierarchy,
     app,
     coarse_level: int,
     time: float,
     params: Optional[RegridParams] = None,
-) -> List[Grid]:
-    """Rebuild level ``coarse_level + 1`` from flags on ``coarse_level``.
+) -> List[Box]:
+    """Steps 1--3 of the pipeline: flags -> buffer -> cluster boxes.
 
-    Returns the newly created grids (empty list if nothing needs refinement
-    or the hierarchy is already at its finest allowed level).
+    Returns the cluster boxes in ``coarse_level`` coordinates, *before*
+    clipping against the coarse grids.  This is the solver-derived workload
+    signal: it depends only on the application's flags, not on how the DLB
+    scheme has partitioned the level-0 grids, which is what makes it the
+    right unit to record in a workload trace (see ``repro.traces``).
     """
     params = params or RegridParams()
-    fine_level = coarse_level + 1
-    if fine_level >= hierarchy.max_levels:
+    if coarse_level + 1 >= hierarchy.max_levels:
         return []
-    # Discard the old fine level (and, transitively, everything finer).
-    hierarchy.clear_level(fine_level)
-
     field_ = assemble_flags(hierarchy, app, coarse_level, time)
     if not field_.any:
         return []
@@ -102,18 +102,84 @@ def regrid_level(
     field_ = FlagField(field_.box, masked)
     if not field_.any:
         return []
+    return cluster_flags(field_, params.cluster)
 
-    cluster_boxes = cluster_flags(field_, params.cluster)
+
+def apply_cluster_boxes(
+    hierarchy: GridHierarchy,
+    coarse_level: int,
+    cluster_boxes: List[Box],
+    work_per_cell: float,
+    min_piece_cells: int = 1,
+    validate: bool = True,
+) -> List[Grid]:
+    """Steps 4--5 of the pipeline: clip, refine and install the fine level.
+
+    Discards the old level ``coarse_level + 1`` subtree, clips every cluster
+    box against the level-``coarse_level`` grids (proper nesting by
+    construction), refines the surviving pieces and installs them.
+
+    ``validate=False`` skips the hierarchy's nesting/disjointness checks on
+    insert: clipping disjoint cluster boxes against disjoint parents makes
+    both properties hold by construction, so trace replay (where this is the
+    per-regrid hot path) opts out of the redundant ``O(n^2)`` scan.  The
+    resulting grids are identical either way.
+    """
+    fine_level = coarse_level + 1
+    if fine_level >= hierarchy.max_levels:
+        return []
+    # Discard the old fine level (and, transitively, everything finer).
+    hierarchy.clear_level(fine_level)
     created: List[Grid] = []
     ratio = hierarchy.refinement_ratio
-    wpc = app.work_per_cell(fine_level)
+    parents = hierarchy.level_grids(coarse_level)
+    ndim = hierarchy.domain.ndim
     for cbox in cluster_boxes:
-        for parent in hierarchy.level_grids(coarse_level):
+        clo, chi = cbox.lo, cbox.hi
+        for parent in parents:
+            # cheap separating-axis rejection before constructing the
+            # intersection Box: almost every (cluster, parent) pair on a
+            # finely tiled level is disjoint, and this inner loop is the
+            # hot path of both regridding and trace replay
+            plo, phi = parent.box.lo, parent.box.hi
+            if any(clo[d] >= phi[d] or plo[d] >= chi[d] for d in range(ndim)):
+                continue
             piece = cbox.intersection(parent.box)
-            if piece.is_empty or piece.ncells < params.min_piece_cells:
+            if piece.is_empty or piece.ncells < min_piece_cells:
                 continue
             child_box = piece.refine(ratio)
-            created.append(
-                hierarchy.add_grid(fine_level, child_box, parent.gid, work_per_cell=wpc)
-            )
+            if validate:
+                created.append(
+                    hierarchy.add_grid(fine_level, child_box, parent.gid,
+                                       work_per_cell=work_per_cell)
+                )
+            else:
+                created.append(
+                    hierarchy._insert(fine_level, child_box, parent.gid,
+                                      work_per_cell)
+                )
     return created
+
+
+def regrid_level(
+    hierarchy: GridHierarchy,
+    app,
+    coarse_level: int,
+    time: float,
+    params: Optional[RegridParams] = None,
+) -> List[Grid]:
+    """Rebuild level ``coarse_level + 1`` from flags on ``coarse_level``.
+
+    Composition of :func:`plan_regrid` (flags -> cluster boxes) and
+    :func:`apply_cluster_boxes` (clip -> refine -> install).  Returns the
+    newly created grids (empty list if nothing needs refinement or the
+    hierarchy is already at its finest allowed level).
+    """
+    params = params or RegridParams()
+    fine_level = coarse_level + 1
+    if fine_level >= hierarchy.max_levels:
+        return []
+    boxes = plan_regrid(hierarchy, app, coarse_level, time, params)
+    return apply_cluster_boxes(hierarchy, coarse_level, boxes,
+                               app.work_per_cell(fine_level),
+                               min_piece_cells=params.min_piece_cells)

@@ -20,7 +20,7 @@ config's traffic seed.  Older positional call forms still work behind
 from __future__ import annotations
 
 # -- configuration ---------------------------------------------------------
-from .config import ExecParams, FaultParams, SchemeParams, SimParams
+from .config import ExecParams, FaultParams, SchemeParams, SimParams, TraceParams
 from .harness.experiment import ExperimentConfig, sequential_config
 
 # -- schemes: policy protocols + registry ----------------------------------
@@ -77,6 +77,22 @@ from .obs import (
     write_span_jsonl,
 )
 
+# -- workload traces -------------------------------------------------------
+from .traces import (
+    SyntheticWorkload,
+    Trace,
+    TraceFormatError,
+    TraceReplayError,
+    TraceReplayRunner,
+    available_synth_workloads,
+    make_synth_workload,
+    read_trace,
+    record_run,
+    register_synth_workload,
+    replay_trace,
+    write_trace,
+)
+
 # -- persistence -----------------------------------------------------------
 from .harness.persist import (
     load_fault_scenarios,
@@ -104,6 +120,7 @@ __all__ = [
     "SchemeParams",
     "FaultParams",
     "ExecParams",
+    "TraceParams",
     "sequential_config",
     # schemes: policy protocols + registry
     "WeightPolicy",
@@ -148,6 +165,19 @@ __all__ = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    # workload traces
+    "Trace",
+    "TraceFormatError",
+    "TraceReplayError",
+    "TraceReplayRunner",
+    "record_run",
+    "replay_trace",
+    "read_trace",
+    "write_trace",
+    "SyntheticWorkload",
+    "register_synth_workload",
+    "available_synth_workloads",
+    "make_synth_workload",
     # persistence
     "save_run",
     "load_run",

@@ -7,8 +7,19 @@ Subcommands
 ``sweep``    the paper's 1+1 .. 8+8 sweep with improvement/efficiency table
 ``faults``   paired runs across fault scenarios with resilience metrics
 ``trace``    run schemes under the tracer, export Chrome trace / JSONL / flame
+``record``   run one experiment while recording its workload trace to a file
+``replay``   re-balance a recorded (or synthetic) trace, no AMR solver
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
 ``cache``    inspect or clear the content-addressed result cache
+
+Workload traces
+---------------
+``record`` writes the run's workload signal to ``*.trace.jsonl.gz``;
+``replay`` feeds it back through the cluster simulator under any scheme /
+system / gamma / fault scenario -- an order of magnitude faster than the
+full run, and bit-for-bit identical under the recorded scheme + system.
+``--source synth:hotspot`` (or ``synth:bursty`` / ``synth:adversarial``)
+replays a generated workload instead.  See docs/TRACES.md.
 
 Observability
 -------------
@@ -39,6 +50,9 @@ Examples
     python -m repro faults --procs 2 --steps 6
     python -m repro compare --procs 2 --trace-out pair.json
     python -m repro trace --procs 2 --steps 3 --out trace.json
+    python -m repro record --app blastwave --steps 4 --out blast.trace.jsonl.gz
+    python -m repro replay blast.trace.jsonl.gz --scheme static --gamma 4
+    python -m repro replay synth:adversarial --procs 4 --steps 6
     python -m repro figure fig2
     python -m repro cache --clear
 """
@@ -255,6 +269,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "span-per-line JSONL, or the text flame "
                               "summary (default: chrome)")
 
+    p_rec = sub.add_parser(
+        "record", help="run one experiment, record its workload trace"
+    )
+    _add_experiment_args(p_rec)
+    _add_trace_args(p_rec)
+    p_rec.add_argument("--scheme", default="distributed",
+                       choices=available_schemes(),
+                       help="DLB scheme for the recorded run "
+                            "(default: distributed)")
+    p_rec.add_argument("--out", default=None, metavar="PATH",
+                       help="trace file to write (default: "
+                            "<app>.trace.jsonl.gz)")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-balance a recorded or synthetic workload trace"
+    )
+    p_replay.add_argument("source", metavar="SOURCE",
+                          help="trace file (*.trace.jsonl.gz) or synthetic "
+                               "generator reference 'synth:<name>'")
+    _add_experiment_args(p_replay)
+    _add_exec_args(p_replay)
+    _add_trace_args(p_replay)
+    # replay covers the whole trace unless --steps caps it; the app/domain/
+    # levels flags are ignored (the trace pins the workload)
+    p_replay.set_defaults(steps=None)
+    p_replay.add_argument("--scheme", default="distributed",
+                          choices=available_schemes(),
+                          help="DLB scheme to replay under "
+                               "(default: distributed)")
+    p_replay.add_argument("--strict", action="store_true",
+                          help="cross-check recorded workloads against the "
+                               "replayed hierarchy (same-scheme replays only)")
+    p_replay.add_argument("--seed", type=int, default=0,
+                          help="synthetic generator seed (default: 0)")
+    p_replay.add_argument("--intensity", type=float, default=1.0,
+                          help="synthetic workload intensity (default: 1.0)")
+    p_replay.add_argument("--timeline", action="store_true",
+                          help="print the per-coarse-step activity table")
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name",
                        choices=[f"fig{i}" for i in range(1, 9)],
@@ -426,6 +479,75 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .traces import record_run
+
+    tracer = _tracer_from(args)
+    out = args.out or f"{args.app}.trace.jsonl.gz"
+    result, trace = record_run(_config_from(args), args.scheme, out=out,
+                               tracer=tracer)
+    print(result.summary())
+    print()
+    print(f"trace written to {out}")
+    print(f"  {trace.describe()}")
+    _finish_trace(tracer, args)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .config import TraceParams
+    from .traces import TraceFormatError, parse_synth_source, read_trace
+
+    steps = args.steps
+    if steps is None:
+        if parse_synth_source(args.source) is not None:
+            steps = 4
+        else:
+            try:
+                steps = max(1, read_trace(args.source).nsteps)
+            except TraceFormatError as err:
+                print(f"error: {err}")
+                return 2
+    args.steps = steps  # _config_from validates steps >= 1
+    try:
+        cfg = replace(
+            _config_from(args),
+            trace=TraceParams(source=args.source, seed=args.seed,
+                              intensity=args.intensity, strict=args.strict),
+        )
+    except ValueError as err:  # bad --intensity, malformed synth: source
+        print(f"error: {err}")
+        return 2
+    tracer = _tracer_from(args)
+    trace = tracer is not None
+    task = ExecTask(cfg, args.scheme,
+                    use_cache=not (args.timeline or trace), trace=trace)
+    try:
+        result = get_default_executor().run_tasks([task])[0]
+    except (TraceFormatError, ValueError) as err:
+        # TraceFormatError: corrupt / stale trace file; ValueError: an
+        # unknown synthetic workload name surfacing from the generator
+        print(f"error: {err}")
+        return 2
+    if trace and result.spans:
+        tracer.extend(result.spans)
+    print(result.summary())
+    if args.timeline:
+        from .harness import render_step_timeline
+
+        print()
+        print(render_step_timeline(result.events))
+    if args.json:
+        from .harness import save_run
+
+        save_run(result, args.json)
+        print(f"result written to {args.json}")
+    _finish_trace(tracer, args)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .exec import ResultCache
 
@@ -492,6 +614,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "trace": _cmd_trace,
+        "record": _cmd_record,
+        "replay": _cmd_replay,
         "figure": _cmd_figure,
         "cache": _cmd_cache,
     }

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Final, Tuple
 
 __all__ = ["SimParams", "SchemeParams", "FaultParams", "ExecParams",
-           "FAULT_SCENARIOS"]
+           "TraceParams", "FAULT_SCENARIOS"]
 
 #: fault scenarios the harness knows how to build (see
 #: :func:`repro.harness.experiment.make_faults`)
@@ -148,6 +148,58 @@ class ExecParams:
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Trace source for a replayed experiment (see ``docs/TRACES.md``).
+
+    When :class:`~repro.harness.experiment.ExperimentConfig` carries one of
+    these, the harness replays the workload trace through the cluster
+    simulator instead of running the AMR solver -- same schemes, systems,
+    gamma and fault schedules, an order of magnitude faster.
+
+    Parameters
+    ----------
+    source:
+        Either a trace file path (``*.trace.jsonl.gz``, written by
+        ``repro record`` / :func:`repro.traces.record_run`) or a synthetic
+        generator reference ``"synth:<name>"`` (``synth:hotspot``,
+        ``synth:bursty``, ``synth:adversarial``, or anything registered via
+        :func:`repro.traces.register_synth_workload`).
+    content_hash:
+        sha256 of the trace file bytes.  ``""`` means "resolve at run
+        time": the harness fills it in before building cache keys, so
+        cached replay results are keyed by trace *content*, not path.
+        A non-empty mismatching hash fails the run (stale-trace guard).
+        Ignored for synthetic sources.
+    seed / intensity:
+        Generator parameters for synthetic sources (ignored for files).
+    strict:
+        Replay cross-checks recorded per-grid workloads against the
+        replayed hierarchy and fails loudly on divergence.  Only
+        meaningful when replaying under the recorded scheme + system;
+        cross-scheme replays legitimately diverge.
+    """
+
+    source: str = ""
+    content_hash: str = ""
+    seed: int = 0
+    intensity: float = 1.0
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.source:
+            raise ValueError("trace source must be a file path or 'synth:<name>'")
+        if self.source.startswith("synth:") and len(self.source) <= len("synth:"):
+            raise ValueError("empty synthetic workload name in trace source")
+        if self.intensity <= 0:
+            raise ValueError("intensity must be > 0")
+
+    @property
+    def is_synthetic(self) -> bool:
+        """Whether the source is a generator reference, not a file."""
+        return self.source.startswith("synth:")
 
 
 @dataclass(frozen=True)

@@ -54,7 +54,9 @@ __all__ = [
 #: bump when the cached payload layout (or run semantics) change; folded
 #: into every key, so old entries silently become unreachable.
 #: v2: keys hash the scheme's canonical SchemeSpec instead of its bare name
-CACHE_SCHEMA_VERSION = 2
+#: v3: configs gained the trace field (replayed runs share the key space,
+#: keyed by trace content hash)
+CACHE_SCHEMA_VERSION = 3
 
 #: the code-version salt: results are only reused within the same package
 #: version and cache schema
@@ -79,6 +81,10 @@ def canonical_value(obj: Any) -> Any:
         out: Dict[str, Any] = {"__dataclass__": type(obj).__name__}
         for f in dataclasses.fields(obj):
             out[f.name] = canonical_value(getattr(obj, f.name))
+        if out["__dataclass__"] == "TraceParams" and out.get("content_hash"):
+            # a pinned content hash IS the trace identity; dropping the
+            # path makes the key follow the bytes, not their location
+            out["source"] = "<content-addressed>"
         return out
     if isinstance(obj, dict):
         return {str(k): canonical_value(v) for k, v in obj.items()}

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..amr.applications import AMR64, AMRApplication, BlastWave, ShockPool3D
-from ..config import FaultParams, SchemeParams, SimParams
+from ..config import FaultParams, SchemeParams, SimParams, TraceParams
 from ..core.registry import SEQUENTIAL, make_scheme
 from ..distsys import (
     BurstyTraffic,
@@ -42,7 +42,7 @@ from ..runtime import SAMRRunner
 
 __all__ = ["ExperimentConfig", "make_app", "make_system", "make_traffic",
            "make_scheme", "make_faults", "run_experiment", "run_sequential",
-           "execute_scheme", "sequential_config"]
+           "execute_scheme", "sequential_config", "resolve_trace_config"]
 
 #: calibrated so a mid-size run sits in the paper's regime: on the WAN
 #: system, communication is a large minority of the parallel-DLB runtime
@@ -73,6 +73,10 @@ class ExperimentConfig:
     sim_params: SimParams = field(default_factory=SimParams)
     #: optional fault scenario; both schemes of a paired run see the same one
     fault: Optional[FaultParams] = None
+    #: optional workload trace source; when set, the harness replays the
+    #: trace through the cluster simulator instead of running the AMR
+    #: solver (see ``docs/TRACES.md``) -- ``app_name`` is then ignored
+    trace: Optional[TraceParams] = None
 
     def __post_init__(self) -> None:
         if self.app_name not in ("shockpool3d", "amr64", "blastwave"):
@@ -212,6 +216,52 @@ def _apply_seed(cfg: ExperimentConfig, seed: Optional[int]) -> ExperimentConfig:
     return replace(cfg, traffic_seed=int(seed))
 
 
+def resolve_trace_config(cfg: ExperimentConfig) -> ExperimentConfig:
+    """Pin the config's trace source to its content hash.
+
+    File sources with an empty ``content_hash`` get it filled in from the
+    file bytes, so everything downstream -- most importantly the executor's
+    content-addressed cache keys -- is bound to the trace *content*, not
+    its path.  Synthetic sources and already-pinned hashes pass through
+    unchanged (a non-empty hash is verified at load time instead, the
+    stale-trace guard).
+    """
+    tp = cfg.trace
+    if tp is None or tp.is_synthetic or tp.content_hash:
+        return cfg
+    from ..traces.schema import trace_file_hash
+
+    return replace(cfg, trace=replace(tp, content_hash=trace_file_hash(tp.source)))
+
+
+def _run_replay(cfg: ExperimentConfig, scheme: str, system,
+                tracer: Optional[Tracer], seq: bool = False) -> RunResult:
+    """In-process replay of ``cfg.trace`` under ``scheme`` on ``system``."""
+    from ..traces.replay import TraceReplayRunner, load_trace_source
+
+    trace = load_trace_source(cfg)
+    metrics = MetricsRegistry() if tracer is not None else None
+    start_count = tracer.record_count if tracer is not None else 0
+    runner = TraceReplayRunner(
+        trace,
+        system,
+        make_scheme(scheme),
+        sim_params=cfg.sim_params,
+        scheme_params=cfg.effective_scheme_params(),
+        fault_schedule=None if seq else make_faults(cfg),
+        tracer=tracer,
+        metrics=metrics,
+        # the sequential reference replays under a different scheme and
+        # system than recorded, where strict cross-checks legitimately
+        # diverge
+        strict=cfg.trace.strict and not seq,
+    )
+    result = runner.run(min(cfg.steps, trace.nsteps))
+    if tracer is not None:
+        result.spans = tracer.records()[start_count:]
+    return result
+
+
 def run_experiment(
     config: ExperimentConfig,
     scheme: Optional[str] = None,
@@ -253,7 +303,7 @@ def run_experiment(
         scheme = scheme_name
     if scheme is None:
         scheme = "distributed"
-    cfg = _apply_seed(config, seed)
+    cfg = resolve_trace_config(_apply_seed(config, seed))
     if executor is not None:
         from ..exec import ExecTask
 
@@ -263,6 +313,8 @@ def run_experiment(
         if tracer is not None and result.spans:
             tracer.extend(result.spans)
         return result
+    if cfg.trace is not None:
+        return _run_replay(cfg, scheme, make_system(cfg), tracer)
     metrics = MetricsRegistry() if tracer is not None else None
     start_count = tracer.record_count if tracer is not None else 0
     runner = SAMRRunner(
@@ -323,7 +375,11 @@ def run_sequential(
     and balancing vanish and the total time is pure compute -- the paper's
     "sequential execution time on one processor".
     """
-    cfg = _apply_seed(config, seed)
+    cfg = resolve_trace_config(_apply_seed(config, seed))
+    if cfg.trace is not None:
+        return _run_replay(cfg, "parallel",
+                           parallel_system(1, base_speed=cfg.base_speed),
+                           tracer, seq=True)
     seq_cfg = replace(cfg, network="parallel")
     metrics = MetricsRegistry() if tracer is not None else None
     start_count = tracer.record_count if tracer is not None else 0

@@ -25,7 +25,12 @@ from ..metrics.efficiency import efficiency
 from ..metrics.timing import RunResult
 from ..obs import Tracer
 from .deprecation import apply_legacy_positionals
-from .experiment import ExperimentConfig, _apply_seed, sequential_config
+from .experiment import (
+    ExperimentConfig,
+    _apply_seed,
+    resolve_trace_config,
+    sequential_config,
+)
 
 
 def _collect_spans(tracer: Optional[Tracer], results: Sequence[RunResult]) -> None:
@@ -160,7 +165,7 @@ def run_paired(
     )
     with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
     pair = _scheme_pair(schemes)
-    cfg = _apply_seed(config, seed)
+    cfg = resolve_trace_config(_apply_seed(config, seed))
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None
     tasks = [ExecTask(cfg, name, use_cache=not trace, trace=trace)
@@ -209,7 +214,7 @@ def run_sweep(
     procs_per_group = kwargs["procs_per_group"]
     with_sequential, executor = kwargs["with_sequential"], kwargs["executor"]
     pair = _scheme_pair(schemes)
-    base = _apply_seed(config, seed)
+    base = resolve_trace_config(_apply_seed(config, seed))
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None
     tasks: List[ExecTask] = []
@@ -271,7 +276,7 @@ def run_fault_scenarios(
     scenarios, executor = kwargs["scenarios"], kwargs["executor"]
     need_events = kwargs["need_events"]
     pair = _scheme_pair(schemes)
-    base = _apply_seed(config, seed)
+    base = resolve_trace_config(_apply_seed(config, seed))
     template = base.fault if base.fault is not None else FaultParams()
     ex = executor if executor is not None else get_default_executor()
     trace = tracer is not None

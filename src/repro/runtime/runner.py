@@ -16,7 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..amr.box import Box
 from ..amr.hierarchy import GridHierarchy
 from ..amr.integrator import IntegratorHooks, SAMRIntegrator, SubStep
-from ..amr.regrid import RegridParams, regrid_level
+from ..amr.grid import Grid
+from ..amr.regrid import RegridParams, apply_cluster_boxes, plan_regrid
 from ..config import SchemeParams, SimParams
 from ..core.base import BalanceContext, DLBScheme
 from ..core.gain import WorkloadHistory
@@ -136,6 +137,12 @@ class SAMRRunner(IntegratorHooks):
         runner records ``dlb.*`` and ``comm.*`` series during the run and
         attaches :meth:`~repro.obs.MetricsRegistry.snapshot` to the
         :class:`RunResult`.
+    recorder:
+        Optional workload-trace recorder (duck-typed; see
+        :class:`repro.traces.TraceRecorder`).  A pure observer: it is told
+        about every solve/regrid/balance hook and regrid outcome but never
+        influences the run, so a recorded run is bit-identical to a plain
+        one.
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class SAMRRunner(IntegratorHooks):
         fault_schedule: Optional[FaultSchedule] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        recorder=None,
     ) -> None:
         if fault_schedule is not None:
             system = fault_schedule.apply(system)
@@ -164,6 +172,7 @@ class SAMRRunner(IntegratorHooks):
         self.sim_params = sim_params or SimParams()
         self.scheme_params = scheme_params or SchemeParams()
         self.regrid_params = regrid_params or RegridParams()
+        self.recorder = recorder
 
         self.hierarchy = GridHierarchy(
             app.domain, app.refinement_ratio, app.max_levels
@@ -174,7 +183,16 @@ class SAMRRunner(IntegratorHooks):
             root_blocks(app.domain, blocks_per_axis),
             work_per_cell=app.work_per_cell(0),
         )
-        self.sim = ClusterSimulator(self.system, log, fault_schedule=fault_schedule,
+        if self.recorder is not None:
+            self.recorder.attach(self)
+        self._finish_setup(log, dt0)
+
+    def _finish_setup(self, log: Optional[EventLog], dt0: float) -> None:
+        """Wire the simulator, assignment and integrator around the root
+        grids.  Shared with :class:`~repro.traces.TraceReplayRunner`, which
+        builds its hierarchy from a trace header instead of an application
+        but is otherwise the same machine."""
+        self.sim = ClusterSimulator(self.system, log, fault_schedule=self.fault_schedule,
                                     tracer=self.tracer)
         self.tracer.bind_clock(lambda: self.sim.clock)
         self.assignment = GridAssignment(self.hierarchy, self.system)
@@ -194,8 +212,8 @@ class SAMRRunner(IntegratorHooks):
         # start from the same balanced state and the measured difference is
         # the *dynamic* behaviour, which is what the paper compares.
         for level in range(self.hierarchy.max_levels - 1):
-            regrid_level(self.hierarchy, app, level, 0.0, self.regrid_params)
-        scheme.initial_distribution(self.ctx)
+            self._rebuild_fine_level(level, 0.0)
+        self.scheme.initial_distribution(self.ctx)
         self.assignment.validate()
         self.integrator = SAMRIntegrator(self.hierarchy, self, dt0=dt0)
         self._step_start_clock = 0.0
@@ -203,12 +221,26 @@ class SAMRRunner(IntegratorHooks):
         #: version at which it was computed
         self._sibling_cache: Dict[int, Tuple[int, List[Tuple[int, int, int]]]] = {}
 
+    def _rebuild_fine_level(self, level: int, time: float) -> List[Grid]:
+        """Rebuild level ``level + 1``: plan from application flags, then
+        install.  :class:`~repro.traces.TraceReplayRunner` overrides this to
+        take the cluster boxes from the trace instead of the solver."""
+        boxes = plan_regrid(self.hierarchy, self.app, level, time,
+                            self.regrid_params)
+        wpc = self.app.work_per_cell(level + 1)
+        if self.recorder is not None:
+            self.recorder.on_regrid(level, time, boxes, wpc)
+        return apply_cluster_boxes(self.hierarchy, level, boxes, wpc,
+                                   min_piece_cells=self.regrid_params.min_piece_cells)
+
     # ------------------------------------------------------------------ #
     # IntegratorHooks
     # ------------------------------------------------------------------ #
 
     def solve(self, step: SubStep) -> None:
         level = step.level
+        if self.recorder is not None:
+            self.recorder.on_solve(step)
         with self.tracer.span("solve", level=level, seq=step.seq):
             loads = self.assignment.level_loads(level)
             self.sim.run_compute(loads, level=level, seq=step.seq)
@@ -220,9 +252,7 @@ class SAMRRunner(IntegratorHooks):
 
     def regrid(self, level: int, time: float) -> None:
         with self.tracer.span("regrid", level=level) as span:
-            created = regrid_level(
-                self.hierarchy, self.app, level, time, self.regrid_params
-            )
+            created = self._rebuild_fine_level(level, time)
             self.assignment.prune()
             if created:
                 self.sim.charge_overhead(
@@ -241,10 +271,14 @@ class SAMRRunner(IntegratorHooks):
             span.set_attribute("created_grids", len(created))
 
     def local_balance(self, level: int, time: float) -> None:
+        if self.recorder is not None:
+            self.recorder.on_local(level, time)
         with self.tracer.span("local_balance", level=level):
             self.scheme.local_balance(self.ctx, level, time)
 
     def global_balance(self, time: float) -> None:
+        if self.recorder is not None:
+            self.recorder.on_global(time)
         if self.integrator.coarse_steps_done > 0:
             self.history.end_coarse_step(self.sim.clock - self._step_start_clock)
         self._step_start_clock = self.sim.clock
@@ -296,14 +330,18 @@ class SAMRRunner(IntegratorHooks):
     # message generation
     # ------------------------------------------------------------------ #
 
-    def _ghost_messages(self, level: int) -> List[Message]:
-        """Sibling ghost-zone exchange for one solve at ``level``."""
+    def _sibling_pairs(self, level: int) -> List[Tuple[int, int, int]]:
+        """Sibling adjacency at ``level``, cached on the hierarchy version."""
         cached = self._sibling_cache.get(level)
         if cached is not None and cached[0] == self.hierarchy.version:
-            pairs = cached[1]
-        else:
-            pairs = self.hierarchy.sibling_pairs(level, self.sim_params.ghost_width)
-            self._sibling_cache[level] = (self.hierarchy.version, pairs)
+            return cached[1]
+        pairs = self.hierarchy.sibling_pairs(level, self.sim_params.ghost_width)
+        self._sibling_cache[level] = (self.hierarchy.version, pairs)
+        return pairs
+
+    def _ghost_messages(self, level: int) -> List[Message]:
+        """Sibling ghost-zone exchange for one solve at ``level``."""
+        pairs = self._sibling_pairs(level)
         bpc = self.sim_params.bytes_per_cell
         messages: List[Message] = []
         for gid_a, gid_b, area in pairs:

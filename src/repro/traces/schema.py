@@ -1,0 +1,332 @@
+"""Workload trace format: versioned, compact, deterministic (gzipped JSONL).
+
+A trace captures the *workload signal* of one SAMR run -- everything a DLB
+scheme consumes, nothing the solver computes.  Line 1 is a schema-validated
+header; every following line is one record in hook order; the final line is
+an ``end`` footer whose record count detects truncation.  See
+``docs/TRACES.md`` for the full specification.
+
+Record vocabulary (all coordinates are lattice integers, all floats are
+JSON ``repr`` round-trips, i.e. bit-exact):
+
+``global``    ``{"op", "t", "s"}`` -- one per coarse step, before its solve.
+``manifest``  ``{"op", "l", "v", "sib", "pc"}`` -- ghost/parent-child message
+              manifest for level ``l``, emitted whenever the hierarchy
+              changed since the level's last manifest; ``v`` is the
+              hierarchy version it was computed at, ``sib`` is
+              ``[gid_a, gid_b, cells]`` triples, ``pc`` is
+              ``[gid, parent_gid, boundary_cells]`` triples.
+``solve``     ``{"op", "l", "q", "w"}`` -- one per solver sub-step:
+              level, Fig. 2 sequence number, per-grid workloads in grid
+              creation order.
+``regrid``    ``{"op", "l", "t", "b", "wpc"}`` -- one per regrid of level
+              ``l + 1``: the *cluster boxes* in level-``l`` coordinates
+              (pre-clipping -- the scheme-independent signal) and the fine
+              level's work per cell.
+``local``     ``{"op", "l", "t"}`` -- local balance point (Fig. 5).
+``end``       ``{"op", "n"}`` -- footer; ``n`` counts the preceding records.
+
+Determinism: files are written with a zeroed gzip mtime and no filename
+field, so identical traces are identical bytes -- which is what lets the
+executor cache key replay runs by the trace file's sha256.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..amr.box import Box
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceFormatError",
+    "TraceReplayError",
+    "read_trace",
+    "write_trace",
+    "trace_file_hash",
+    "encode_box",
+    "decode_box",
+    "validate_header",
+    "validate_record",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: record ops and their required keys (beyond ``op``)
+_RECORD_KEYS: Dict[str, tuple] = {
+    "global": ("t", "s"),
+    "manifest": ("l", "v", "sib", "pc"),
+    "solve": ("l", "q", "w"),
+    "regrid": ("l", "t", "b", "wpc"),
+    "local": ("l", "t"),
+    "end": ("n",),
+}
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid repro workload trace (wrong format, corrupt
+    compression, schema violation, or truncation)."""
+
+
+class TraceReplayError(RuntimeError):
+    """The trace and the replay desynchronised: the replayed hierarchy asked
+    for a different hook sequence than the trace recorded (wrong step count,
+    wrong scheme expectations in strict mode, exhausted records)."""
+
+
+def encode_box(box: Box) -> List[List[int]]:
+    """``Box`` -> ``[[lo...], [hi...]]`` (JSON-stable)."""
+    return [list(box.lo), list(box.hi)]
+
+
+def decode_box(data: Any) -> Box:
+    """Inverse of :func:`encode_box`; raises :class:`TraceFormatError`."""
+    try:
+        lo, hi = data
+        return Box(tuple(int(x) for x in lo), tuple(int(x) for x in hi))
+    except (TypeError, ValueError) as err:
+        raise TraceFormatError(f"malformed box {data!r}: {err}") from None
+
+
+@dataclass
+class Trace:
+    """One recorded (or synthesised) workload trace: header + records.
+
+    Equality is structural, so ``read_trace(write_trace(t)) == t`` -- the
+    round-trip property the schema tests pin.
+    """
+
+    header: Dict[str, Any]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- header accessors --------------------------------------------------
+
+    @property
+    def app(self) -> str:
+        return self.header["app"]
+
+    @property
+    def scheme(self) -> str:
+        """Registry name of the scheme the trace was recorded under
+        (``"synth"`` for generated traces)."""
+        return self.header["scheme"]
+
+    @property
+    def nsteps(self) -> int:
+        return self.header["nsteps"]
+
+    @property
+    def dt0(self) -> float:
+        return self.header["dt0"]
+
+    @property
+    def refinement_ratio(self) -> int:
+        return self.header["refinement_ratio"]
+
+    @property
+    def max_levels(self) -> int:
+        return self.header["max_levels"]
+
+    @property
+    def domain(self) -> Box:
+        return decode_box(self.header["domain"])
+
+    @property
+    def root_boxes(self) -> List[Box]:
+        return [decode_box(b) for b in self.header["root"]]
+
+    @property
+    def root_work_per_cell(self) -> float:
+        return self.header["root_wpc"]
+
+    @property
+    def min_piece_cells(self) -> int:
+        return self.header["min_piece_cells"]
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (f"{self.app} · {self.nsteps} steps · {self.max_levels} levels "
+                f"· {len(self.records)} records · recorded under "
+                f"{self.scheme!r}")
+
+
+def validate_header(header: Any) -> Dict[str, Any]:
+    """Check the header record; returns it or raises :class:`TraceFormatError`."""
+    if not isinstance(header, dict):
+        raise TraceFormatError(f"trace header must be an object, got {type(header).__name__}")
+    if header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a repro workload trace (format={header.get('format')!r}, "
+            f"expected {TRACE_FORMAT!r})"
+        )
+    if header.get("version") != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {header.get('version')!r} "
+            f"(this build reads version {TRACE_VERSION})"
+        )
+    required = {
+        "app": str, "scheme": str, "nsteps": int, "dt0": (int, float),
+        "refinement_ratio": int, "max_levels": int, "domain": list,
+        "root": list, "root_wpc": (int, float), "min_piece_cells": int,
+        "seed": int, "salt": str, "config_hash": str,
+    }
+    for key, types in required.items():
+        if key not in header:
+            raise TraceFormatError(f"trace header missing required field {key!r}")
+        if not isinstance(header[key], types) or isinstance(header[key], bool):
+            raise TraceFormatError(
+                f"trace header field {key!r} has wrong type "
+                f"{type(header[key]).__name__}"
+            )
+    if header["nsteps"] < 0 or header["dt0"] <= 0:
+        raise TraceFormatError("trace header has nonsensical nsteps/dt0")
+    decode_box(header["domain"])
+    for b in header["root"]:
+        decode_box(b)
+    return header
+
+
+def validate_record(record: Any, index: int) -> Dict[str, Any]:
+    """Check one record line; returns it or raises :class:`TraceFormatError`."""
+    if not isinstance(record, dict):
+        raise TraceFormatError(f"record {index} is not an object")
+    op = record.get("op")
+    if op not in _RECORD_KEYS:
+        raise TraceFormatError(
+            f"record {index} has unknown op {op!r}; "
+            f"expected one of {sorted(_RECORD_KEYS)}"
+        )
+    for key in _RECORD_KEYS[op]:
+        if key not in record:
+            raise TraceFormatError(f"record {index} ({op!r}) missing field {key!r}")
+    if op == "regrid":
+        for b in record["b"]:
+            decode_box(b)
+    return record
+
+
+# -------------------------------------------------------------------------- #
+# IO
+# -------------------------------------------------------------------------- #
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Write ``trace`` to ``path`` as deterministic gzipped JSONL.
+
+    Appends the ``end`` footer; returns the compressed size in bytes.
+    Identical traces produce identical bytes (gzip mtime is zeroed and keys
+    are sorted), so the file's sha256 is a content address.
+    """
+    validate_header(trace.header)
+    path = Path(path)
+
+    def dump(obj: Any) -> bytes:
+        return (json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n").encode("ascii")
+
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0, filename="") as gz:
+            gz.write(dump(trace.header))
+            for i, record in enumerate(trace.records):
+                gz.write(dump(validate_record(record, i)))
+            gz.write(dump({"op": "end", "n": len(trace.records)}))
+    return path.stat().st_size
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read and validate a trace file; raises :class:`TraceFormatError` on
+    anything short of a complete, schema-valid trace (including a missing or
+    miscounting ``end`` footer -- the truncation detector)."""
+    path = Path(path)
+    lines: List[Any] = []
+    try:
+        with gzip.open(path, "rt", encoding="ascii") as fh:
+            for i, line in enumerate(fh):
+                try:
+                    lines.append(json.loads(line))
+                except ValueError as err:
+                    raise TraceFormatError(
+                        f"{path}: line {i + 1} is not valid JSON: {err}"
+                    ) from None
+    except TraceFormatError:
+        raise
+    except (OSError, EOFError, UnicodeDecodeError) as err:
+        raise TraceFormatError(f"{path}: cannot read trace: {err}") from None
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace file")
+    header = validate_header(lines[0])
+    body = lines[1:]
+    if not body or body[-1].get("op") != "end":
+        raise TraceFormatError(
+            f"{path}: truncated trace (missing 'end' footer)"
+        )
+    footer = body.pop()
+    records = [validate_record(r, i) for i, r in enumerate(body)]
+    if footer.get("n") != len(records):
+        raise TraceFormatError(
+            f"{path}: truncated trace (footer counts {footer.get('n')} "
+            f"records, file holds {len(records)})"
+        )
+    return Trace(header=header, records=records)
+
+
+def trace_file_hash(path: Union[str, Path]) -> str:
+    """sha256 of the trace file bytes -- the content address replay cache
+    keys embed (see ``TraceParams.content_hash``)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def build_header(
+    *,
+    app: str,
+    scheme: str,
+    nsteps: int,
+    dt0: float,
+    domain: Box,
+    refinement_ratio: int,
+    max_levels: int,
+    root_boxes: List[Box],
+    root_wpc: float,
+    min_piece_cells: int,
+    seed: int,
+    config: Any = None,
+    config_hash: str = "",
+) -> Dict[str, Any]:
+    """Assemble a schema-valid trace header.
+
+    ``config`` is the canonicalised recorded :class:`ExperimentConfig`
+    payload (or ``None`` for synthetic traces); ``salt`` pins the package
+    version + cache schema the trace was recorded with, for provenance --
+    replay does not require it to match.
+    """
+    from ..exec.cache import CODE_VERSION_SALT
+
+    return validate_header({
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "app": app,
+        "scheme": scheme,
+        "nsteps": int(nsteps),
+        "dt0": float(dt0),
+        "domain": encode_box(domain),
+        "refinement_ratio": int(refinement_ratio),
+        "max_levels": int(max_levels),
+        "root": [encode_box(b) for b in root_boxes],
+        "root_wpc": float(root_wpc),
+        "min_piece_cells": int(min_piece_cells),
+        "seed": int(seed),
+        "salt": CODE_VERSION_SALT,
+        "config": config,
+        "config_hash": config_hash,
+    })

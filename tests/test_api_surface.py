@@ -28,6 +28,7 @@ EXPECTED_API = [
     "SchemeParams",
     "FaultParams",
     "ExecParams",
+    "TraceParams",
     "sequential_config",
     # schemes: policy protocols + registry
     "WeightPolicy",
@@ -72,6 +73,19 @@ EXPECTED_API = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    # workload traces
+    "Trace",
+    "TraceFormatError",
+    "TraceReplayError",
+    "TraceReplayRunner",
+    "record_run",
+    "replay_trace",
+    "read_trace",
+    "write_trace",
+    "SyntheticWorkload",
+    "register_synth_workload",
+    "available_synth_workloads",
+    "make_synth_workload",
     # persistence
     "save_run",
     "load_run",

@@ -102,6 +102,49 @@ class TestCommands:
         back = load_fault_scenarios(path)
         assert list(back) == ["none", "slowdown"]
 
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "run.trace.jsonl.gz"
+        rc = main(["record", "--procs", "1", "--steps", "2",
+                   "--out", str(out)])
+        assert rc == 0
+        recorded = capsys.readouterr().out
+        assert f"trace written to {out}" in recorded
+        assert out.is_file()
+        # replay builds its config from its own flags: match the recording
+        rc = main(["replay", str(out), "--procs", "1", "--strict",
+                   "--no-cache"])
+        assert rc == 0
+        replayed = capsys.readouterr().out
+        # the simulated-time summary line is identical (golden equivalence)
+        total = next(ln for ln in recorded.splitlines()
+                     if ln.strip().startswith("total"))
+        assert total in replayed
+
+    def test_replay_synth_source(self, capsys):
+        rc = main(["replay", "synth:adversarial", "--procs", "1",
+                   "--steps", "2", "--no-cache"])
+        assert rc == 0
+        assert "synth:adversarial" in capsys.readouterr().out
+
+    def test_replay_corrupt_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace.jsonl.gz"
+        bad.write_text("not a trace\n")
+        rc = main(["replay", str(bad), "--no-cache"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_replay_unknown_synth_exits_2(self, capsys):
+        rc = main(["replay", "synth:warpdrive", "--procs", "1",
+                   "--steps", "2", "--no-cache"])
+        assert rc == 2
+        assert "registered" in capsys.readouterr().out
+
+    def test_replay_bad_intensity_exits_2(self, capsys):
+        rc = main(["replay", "synth:hotspot", "--procs", "1",
+                   "--steps", "2", "--intensity", "0", "--no-cache"])
+        assert rc == 2
+        assert "intensity" in capsys.readouterr().out
+
     def test_module_entry_point(self):
         import subprocess
         import sys
