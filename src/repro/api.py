@@ -72,9 +72,20 @@ from .obs import (
     Tracer,
     chrome_trace,
     flame_summary,
+    prometheus_text,
     validate_chrome_trace,
     write_chrome_trace,
     write_span_jsonl,
+)
+
+# -- serving daemon --------------------------------------------------------
+from .serve import (
+    AsyncServeClient,
+    JobResult,
+    QueueFullError,
+    ServeClient,
+    ServeError,
+    ServeServer,
 )
 
 # -- workload traces -------------------------------------------------------
@@ -165,6 +176,14 @@ __all__ = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "prometheus_text",
+    # serving daemon
+    "ServeServer",
+    "ServeClient",
+    "AsyncServeClient",
+    "JobResult",
+    "ServeError",
+    "QueueFullError",
     # workload traces
     "Trace",
     "TraceFormatError",

@@ -11,6 +11,10 @@ Subcommands
 ``replay``   re-balance a recorded (or synthetic) trace, no AMR solver
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
 ``cache``    inspect or clear the content-addressed result cache
+``serve``    start the long-running job daemon (local JSON API)
+``submit``   send an experiment / replay / sweep job to the daemon
+``jobs``     list the daemon's jobs, or dump its metrics / trace spans
+``cancel``   cancel a queued or running daemon job
 
 Workload traces
 ---------------
@@ -40,6 +44,15 @@ simulator.  ``--exec-stats`` prints the per-run execution breakdown and
 ``--profile`` wraps the command in cProfile and prints the top-20
 cumulative hotspots.
 
+Serving daemon
+--------------
+``serve`` keeps the simulator warm behind a unix socket (or TCP port):
+``submit`` sends jobs to it -- same flags as ``run``/``replay`` -- and
+streams the result back, bit-for-bit identical to running in-process.
+Repeated submissions hit the daemon's shared result cache without
+consuming a worker slot.  SIGINT/SIGTERM drains in-flight jobs and exits
+cleanly; a second signal force-cancels.  See docs/SERVING.md.
+
 Examples
 --------
     python -m repro run --app shockpool3d --network wan --procs 2 --steps 4
@@ -55,6 +68,11 @@ Examples
     python -m repro replay synth:adversarial --procs 4 --steps 6
     python -m repro figure fig2
     python -m repro cache --clear
+    python -m repro serve --workers 4 &
+    python -m repro submit --source synth:hotspot --steps 2
+    python -m repro submit --sweep 1 2 4 --no-wait
+    python -m repro jobs --metrics
+    python -m repro cancel j0003
 """
 
 from __future__ import annotations
@@ -141,6 +159,19 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--profile", action="store_true",
                    help="profile the command (cProfile) and print the "
                         "top-20 cumulative hotspots")
+
+
+def _add_connect_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("daemon endpoint")
+    g.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket of the daemon (default: "
+                        "$REPRO_SERVE_SOCKET or .repro-serve.sock)")
+    g.add_argument("--host", default=None, metavar="HOST",
+                   help="listen on / connect to TCP instead of the unix "
+                        "socket")
+    g.add_argument("--port", type=int, default=0, metavar="PORT",
+                   help="TCP port (with --host; default: 0 = ephemeral "
+                        "for serve)")
 
 
 def _add_trace_args(p: argparse.ArgumentParser) -> None:
@@ -323,6 +354,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--clear", action="store_true",
                          help="delete every cached result")
 
+    p_serve = sub.add_parser(
+        "serve", help="start the long-running job daemon"
+    )
+    _add_connect_args(p_serve)
+    p_serve.add_argument("--workers", type=_positive_int, default=2, metavar="N",
+                         help="worker processes, the max jobs executing "
+                              "concurrently (default: 2)")
+    p_serve.add_argument("--queue-size", type=_positive_int, default=16,
+                         metavar="N",
+                         help="bounded queue capacity; submissions past it "
+                              "get the typed queue_full rejection "
+                              "(default: 16)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache shared with the batch commands "
+                              "(default: $REPRO_CACHE_DIR or .repro_cache)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the result cache (every job "
+                              "executes fresh)")
+
+    p_submit = sub.add_parser(
+        "submit", help="send one experiment / replay / sweep job to the daemon"
+    )
+    _add_experiment_args(p_submit)
+    _add_connect_args(p_submit)
+    # no steps given: 4 for experiments and synthetic traces, the full
+    # trace for file replays (same rule as `repro replay`)
+    p_submit.set_defaults(steps=None)
+    p_submit.add_argument("--scheme", default="distributed",
+                          choices=[*available_schemes(), SEQUENTIAL],
+                          help="DLB scheme (default: distributed)")
+    p_submit.add_argument("--source", default=None, metavar="SOURCE",
+                          help="make it a trace-replay job: a trace file "
+                               "(*.trace.jsonl.gz) or 'synth:<name>'")
+    p_submit.add_argument("--seed", type=int, default=0,
+                          help="synthetic generator seed (default: 0)")
+    p_submit.add_argument("--intensity", type=float, default=1.0,
+                          help="synthetic workload intensity (default: 1.0)")
+    p_submit.add_argument("--strict", action="store_true",
+                          help="cross-check recorded workloads on replay")
+    p_submit.add_argument("--sweep", type=_positive_int, nargs="+", default=None,
+                          metavar="N",
+                          help="make it a sweep job over these processors "
+                               "per group (server-side fan-out)")
+    p_submit.add_argument("--sweep-schemes", nargs="+",
+                          default=list(DEFAULT_SCHEMES),
+                          choices=available_schemes(), metavar="S",
+                          help="schemes of a --sweep job "
+                               "(default: parallel distributed)")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority, lower runs first (default: 0)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return instead of "
+                               "streaming the result")
+    p_submit.add_argument("--no-cache", action="store_true",
+                          help="skip the daemon's result cache for this job")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list the daemon's jobs / metrics / trace spans"
+    )
+    _add_connect_args(p_jobs)
+    p_jobs.add_argument("--metrics", action="store_true",
+                        help="print the live metrics (Prometheus text) "
+                             "instead of the job table")
+    p_jobs.add_argument("--spans", default=None, metavar="PATH",
+                        help="write the traced jobs' spans to PATH as "
+                             "Chrome trace-event JSON (one track per job)")
+
+    p_cancel = sub.add_parser("cancel", help="cancel a daemon job")
+    p_cancel.add_argument("job_id", metavar="JOB_ID",
+                          help="job to cancel (as printed by submit/jobs)")
+    _add_connect_args(p_cancel)
+
     return parser
 
 
@@ -498,19 +601,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from .config import TraceParams
-    from .traces import TraceFormatError, parse_synth_source, read_trace
+    from .traces import TraceFormatError, default_replay_steps
 
-    steps = args.steps
-    if steps is None:
-        if parse_synth_source(args.source) is not None:
-            steps = 4
-        else:
-            try:
-                steps = max(1, read_trace(args.source).nsteps)
-            except TraceFormatError as err:
-                print(f"error: {err}")
-                return 2
-    args.steps = steps  # _config_from validates steps >= 1
+    if args.steps is None:
+        try:
+            args.steps = default_replay_steps(args.source)
+        except TraceFormatError as err:
+            print(f"error: {err}")
+            return 2
     try:
         cfg = replace(
             _config_from(args),
@@ -571,6 +669,176 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeServer
+
+    try:
+        server = ServeServer(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    except ValueError as err:
+        print(f"error: {err}")
+        return 2
+    return asyncio.run(server.run())
+
+
+def _serve_client(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    return ServeClient(socket_path=args.socket, host=args.host,
+                       port=args.port)
+
+
+def _daemon_unreachable(args: argparse.Namespace, err: OSError) -> int:
+    where = (f"{args.host}:{args.port}" if args.host
+             else args.socket or "the default socket")
+    print(f"error: cannot reach the serve daemon at {where} ({err}); "
+          "is `repro serve` running?")
+    return 2
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .serve import ServeError
+
+    if args.source is not None:
+        from .config import TraceParams
+        from .traces import TraceFormatError, default_replay_steps
+
+        if args.steps is None:
+            try:
+                args.steps = default_replay_steps(args.source)
+            except TraceFormatError as err:
+                print(f"error: {err}")
+                return 2
+    elif args.steps is None:
+        args.steps = 4
+    try:
+        cfg = _config_from(args)
+        if args.source is not None:
+            cfg = replace(
+                cfg,
+                trace=TraceParams(source=args.source, seed=args.seed,
+                                  intensity=args.intensity,
+                                  strict=args.strict),
+            )
+    except ValueError as err:
+        print(f"error: {err}")
+        return 2
+    client = _serve_client(args)
+    try:
+        if args.sweep is not None:
+            out = client.submit_sweep(
+                cfg, procs=args.sweep, schemes=tuple(args.sweep_schemes),
+                priority=args.priority, use_cache=not args.no_cache,
+                wait=not args.no_wait)
+        else:
+            out = client.submit(
+                cfg, scheme=args.scheme, priority=args.priority,
+                use_cache=not args.no_cache, wait=not args.no_wait)
+    except ServeError as err:
+        print(f"error ({err.code}): {err.message}")
+        return 1
+    except OSError as err:
+        return _daemon_unreachable(args, err)
+    if args.no_wait:
+        print(f"submitted {out} (repro jobs to watch, "
+              f"repro cancel {out} to stop)")
+        return 0
+    return _print_job_result(out, args)
+
+
+def _print_job_result(res, args: argparse.Namespace) -> int:
+    """Render a finished job; nonzero for failed/cancelled."""
+    if res.status != "done":
+        detail = (f": {res.error['message']}" if res.error else "")
+        print(f"job {res.job_id} {res.status}{detail}")
+        return 1
+    marker = " (cache hit)" if res.cached else ""
+    if res.runs is not None:  # sweep parent
+        rows = [
+            (f"{r['procs']}+{r['procs']}", r["scheme"],
+             f"{r['run']['total_time']:.3f}", "hit" if r["cached"] else "run")
+            for r in res.runs
+        ]
+        print(format_table(
+            ["config", "scheme", "total [s]", "cache"], rows,
+            title=f"sweep {res.job_id}{marker}"))
+        return 0
+    result = res.result()
+    print(result.summary())
+    print(f"\njob {res.job_id} done{marker}")
+    if args.json:
+        from .harness import save_run
+
+        save_run(result, args.json)
+        print(f"result written to {args.json}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    try:
+        if args.metrics:
+            print(client.metrics_text(), end="")
+            return 0
+        if args.spans:
+            import json as _json
+
+            trace = client.spans()
+            with open(args.spans, "w") as fh:
+                _json.dump(trace, fh, indent=2, sort_keys=True)
+            njobs = len(trace.get("otherData", {}).get("jobs", []))
+            print(f"spans of {njobs} traced job(s) written to {args.spans} "
+                  "(chrome trace-event format)")
+            return 0
+        state = client.state()
+        jobs = client.jobs()
+    except OSError as err:
+        return _daemon_unreachable(args, err)
+    workers = state["workers"]
+    queue = state["queue"]
+    drain = " [draining]" if state["draining"] else ""
+    print(f"workers {workers['busy']}/{workers['total']} busy, "
+          f"queue {queue['depth']}/{queue['capacity']}{drain}")
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        (j["job_id"], j["kind"], j["client"], j["scheme"],
+         str(j["priority"]), j["status"],
+         "hit" if j["cached"] else ("-" if j["kind"] == "sweep" else "run"))
+        for j in jobs
+    ]
+    print(format_table(
+        ["job", "kind", "client", "scheme", "prio", "status", "cache"], rows))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        status = client.cancel(args.job_id)
+    except ServeError as err:
+        print(f"error ({err.code}): {err.message}")
+        return 1
+    except OSError as err:
+        return _daemon_unreachable(args, err)
+    print(f"job {args.job_id}: {status}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .harness import figures
 
@@ -618,9 +886,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "replay": _cmd_replay,
         "figure": _cmd_figure,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cancel": _cmd_cancel,
     }
     handler = handlers[args.command]
-    if args.command == "cache":
+    # commands that never execute runs in-process skip the executor setup:
+    # cache only touches disk, and the serve family talks to the daemon
+    # (or IS the daemon, which owns its own worker pool)
+    if args.command in ("cache", "serve", "submit", "jobs", "cancel"):
         return handler(args)
 
     # install the command's executor as the session default so every

@@ -36,6 +36,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -67,6 +68,28 @@ def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` under the cwd."""
     env = os.environ.get("REPRO_CACHE_DIR")
     return Path(env) if env else Path(".repro_cache")
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically, safely under concurrency.
+
+    Each writer gets its *own* temp file (``tempfile.mkstemp`` in the
+    target directory, so the final ``os.replace`` stays a same-filesystem
+    rename) -- a fixed ``.tmp`` name would let two concurrent writers
+    interleave write/rename and publish a torn file.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def canonical_value(obj: Any) -> Any:
@@ -141,14 +164,9 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
 
-    def get(self, key: str):
-        """Return the cached :class:`RunResult` for ``key`` or ``None``.
-
-        Any malformed entry (unparsable, wrong schema version, wrong key)
-        counts as a miss.
-        """
-        from ..harness.persist import run_result_from_dict
-
+    def _load(self, key: str):
+        """The validated on-disk payload for ``key``, or ``None`` (counted
+        as a miss: missing, unparsable, wrong schema version, wrong key)."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -159,8 +177,22 @@ class ResultCache:
             payload.get("format") != CACHE_SCHEMA_VERSION
             or payload.get("kind") != "cache-entry"
             or payload.get("key") != key
+            or not isinstance(payload.get("run"), dict)
         ):
             self.misses += 1
+            return None
+        return payload
+
+    def get(self, key: str):
+        """Return the cached :class:`RunResult` for ``key`` or ``None``.
+
+        Any malformed entry (unparsable, wrong schema version, wrong key)
+        counts as a miss.
+        """
+        from ..harness.persist import run_result_from_dict
+
+        payload = self._load(key)
+        if payload is None:
             return None
         try:
             result = run_result_from_dict(payload["run"])
@@ -170,8 +202,30 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def get_run_dict(self, key: str):
+        """The stored run dict for ``key``, verbatim, or ``None``.
+
+        This is the exact ``run_result_to_dict`` form :meth:`put` wrote
+        (``event_counts`` included), which :meth:`get`'s reconstructed
+        :class:`RunResult` cannot reproduce -- its event log is gone.  The
+        serving daemon streams this form so cache hits are bit-identical
+        to fresh runs.
+        """
+        payload = self._load(key)
+        if payload is None:
+            return None
+        self.hits += 1
+        return payload["run"]
+
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` (atomically: write + rename)."""
+        """Store ``result`` under ``key``.
+
+        The write is atomic *per writer*: each goes to a uniquely named
+        temp file in the entry's directory, then ``os.replace``s it into
+        place, so concurrent writers (the serving daemon's worker
+        processes, parallel executors sharing one cache dir) race only on
+        who lands last -- readers always see a complete entry.
+        """
         from ..harness.persist import run_result_to_dict
 
         path = self._path(key)
@@ -188,9 +242,7 @@ class ResultCache:
             "salt": CODE_VERSION_SALT,
             "run": run,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp, path)
+        _atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
         self.stores += 1
 
     def __contains__(self, key: str) -> bool:
@@ -265,10 +317,9 @@ class ResultCache:
             totals[name] += delta
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            tmp = self._metrics_path.with_suffix(".tmp")
-            tmp.write_text(json.dumps({"counters": totals}, indent=2,
-                                      sort_keys=True))
-            os.replace(tmp, self._metrics_path)
+            _atomic_write_text(self._metrics_path,
+                               json.dumps({"counters": totals}, indent=2,
+                                          sort_keys=True))
         except OSError:
             return
         self._flushed = {"exec.cache_hits": self.hits,

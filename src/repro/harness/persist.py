@@ -13,7 +13,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
 
-from ..config import FaultParams, SchemeParams, SimParams
+from ..config import FaultParams, SchemeParams, SimParams, TraceParams
 from ..metrics.timing import RunResult
 from .replication import ReplicatedResult
 from .sweep import PairedResult, SweepResult
@@ -168,8 +168,9 @@ def _config_to_dict(cfg) -> Dict:
 
     Unlike the (format-1) sweep entry, which keeps only the headline fields,
     this captures everything -- ``traffic_seed``, ``base_speed``,
-    ``sim_params``, ``scheme_params`` and ``fault`` -- so reloaded configs
-    compare equal to the originals.
+    ``sim_params``, ``scheme_params``, ``fault`` and ``trace`` -- so
+    reloaded configs compare equal to the originals.  This is also the
+    wire form ``repro.serve`` jobs carry their configs in.
     """
     return {
         "app_name": cfg.app_name,
@@ -188,6 +189,7 @@ def _config_to_dict(cfg) -> Dict:
         ),
         "sim_params": asdict(cfg.sim_params),
         "fault": asdict(cfg.fault) if cfg.fault is not None else None,
+        "trace": asdict(cfg.trace) if cfg.trace is not None else None,
     }
 
 
@@ -204,6 +206,10 @@ def _config_from_dict(data: Dict):
         fields.pop("sim_params", None)
     if fields.get("fault") is not None:
         fields["fault"] = FaultParams(**fields["fault"])
+    if fields.get("trace") is not None:
+        fields["trace"] = TraceParams(**fields["trace"])
+    else:
+        fields.pop("trace", None)  # absent in pre-trace files
     return ExperimentConfig(**fields)
 
 

@@ -25,6 +25,7 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 from .export import (
     chrome_trace,
     flame_summary,
+    prometheus_text,
     span_jsonl_lines,
     validate_chrome_trace,
     write_chrome_trace,
@@ -59,4 +60,5 @@ __all__ = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "prometheus_text",
 ]

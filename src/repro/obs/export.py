@@ -27,6 +27,7 @@ __all__ = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "prometheus_text",
 ]
 
 #: simulated seconds -> trace-event microseconds
@@ -194,6 +195,66 @@ def flame_summary(records: Sequence[SpanRecord], clock: str = "sim") -> str:
     for root in sorted(set(roots), key=lambda p: -totals.get(p, 0.0)):
         emit(root, 0)
     return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    """A metric name in the Prometheus grammar: dots and dashes become
+    underscores (``serve.jobs_submitted`` -> ``serve_jobs_submitted``)."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_series(name: str, labels: Iterable[Tuple[str, str]],
+                 suffix: str = "") -> str:
+    base = _prom_name(name) + suffix
+    items = list(labels)
+    if not items:
+        return base
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in items)
+    return f"{base}{{{inner}}}"
+
+
+def prometheus_text(registry) -> str:
+    """Render a :class:`~repro.obs.MetricsRegistry` as Prometheus-style
+    exposition text.
+
+    Counters become ``<name>_total``, gauges keep their name, and
+    histograms expand to ``_count`` / ``_sum`` / ``_min`` / ``_max``
+    series (the registry's histograms are moment summaries, not bucketed).
+    Series are emitted sorted, one ``# TYPE`` header per metric name, so
+    identical registries render identical text.
+    """
+    from .metrics import Counter, Gauge, Histogram
+
+    by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], Any]]] = {}
+    kinds: Dict[str, type] = {}
+    for (name, labels), series in sorted(registry._series.items()):
+        by_name.setdefault(name, []).append((labels, series))
+        kinds[name] = type(series)
+    lines: List[str] = []
+    for name in sorted(by_name):
+        kind = kinds[name]
+        if kind is Counter:
+            lines.append(f"# TYPE {_prom_name(name)}_total counter")
+            for labels, series in by_name[name]:
+                lines.append(
+                    f"{_prom_series(name, labels, '_total')} {series.value:g}")
+        elif kind is Gauge:
+            lines.append(f"# TYPE {_prom_name(name)} gauge")
+            for labels, series in by_name[name]:
+                lines.append(f"{_prom_series(name, labels)} {series.value:g}")
+        elif kind is Histogram:
+            lines.append(f"# TYPE {_prom_name(name)} summary")
+            for labels, series in by_name[name]:
+                s = series.summary()
+                lines.append(
+                    f"{_prom_series(name, labels, '_count')} {s['count']:g}")
+                lines.append(
+                    f"{_prom_series(name, labels, '_sum')} {s['total']:g}")
+                lines.append(
+                    f"{_prom_series(name, labels, '_min')} {s['min']:g}")
+                lines.append(
+                    f"{_prom_series(name, labels, '_max')} {s['max']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def validate_chrome_trace(payload: Any) -> List[str]:

@@ -1,0 +1,154 @@
+"""Wire protocol of the serving runtime: newline-delimited JSON.
+
+One message per line, UTF-8 JSON with sorted keys.  Clients send *request*
+objects carrying an ``op``; the server answers with one or more *event*
+objects carrying an ``event``.  A connection may pipeline requests: after
+the terminal event of one request the next request is read from the same
+stream.
+
+Requests
+--------
+``{"op": "submit", "job": {...}, "wait": true, "client": "name"}``
+    Enqueue a job (see :func:`job_payload_fields`).  Reply: ``accepted``
+    (with the assigned ``job_id``) or ``rejected`` (typed error), then --
+    when ``wait`` is true -- the job's event stream through its terminal
+    ``done`` event.
+``{"op": "wait", "job_id": "j0001"}``
+    Attach to a job's event stream (``started`` / ``partial`` events the
+    job emits from now on, then ``done``).
+``{"op": "cancel", "job_id": "j0001"}``
+    Cancel a queued or running job.  Reply: ``cancelled`` with the job's
+    resulting status, or an ``error`` event.
+``{"op": "jobs"}``
+    Reply: one ``jobs`` event listing every job the server knows.
+``{"op": "state"}``
+    Reply: one ``state`` event -- queue/worker occupancy, per-status job
+    counts, and the live metrics in Prometheus-style text.
+``{"op": "spans"}``
+    Reply: one ``spans`` event holding a Chrome trace-event payload of
+    every finished traced job, one track per job.
+``{"op": "shutdown", "force": false}``
+    Begin draining (reject new submissions, finish admitted jobs) or --
+    with ``force`` -- cancel everything in flight.  Reply: ``shutting-down``.
+
+Errors
+------
+Every failure is a typed error object ``{"code": ..., "message": ...}``:
+``malformed`` (unparsable or invalid request -- the 400), ``queue_full``
+(bounded-queue backpressure -- the 429), ``not_found`` (unknown job id),
+``shutting_down`` (submissions during drain -- the 503), and ``failed``
+(the job itself raised).  The server never dies on a bad request; it
+replies with ``error``/``rejected`` and keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_MESSAGE_BYTES",
+    "ServeError",
+    "MalformedRequestError",
+    "QueueFullError",
+    "JobNotFoundError",
+    "ShuttingDownError",
+    "JobFailedError",
+    "encode_message",
+    "decode_message",
+    "error_payload",
+]
+
+#: bumped when the message vocabulary changes incompatibly; the server
+#: stamps it on every ``accepted``/``state`` event
+PROTOCOL_VERSION = 1
+
+#: per-line ceiling for both stream directions (a run payload is ~3 KiB;
+#: this bounds hostile or corrupted input long before memory pressure)
+MAX_MESSAGE_BYTES = 4 * 1024 * 1024
+
+
+class ServeError(Exception):
+    """Base of every typed serving error; ``code`` is the wire identifier."""
+
+    code = "error"
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+
+class MalformedRequestError(ServeError):
+    """Unparsable line or structurally invalid request/job payload."""
+
+    code = "malformed"
+
+
+class QueueFullError(ServeError):
+    """Bounded-queue backpressure: the submission was rejected, not queued."""
+
+    code = "queue_full"
+
+
+class JobNotFoundError(ServeError):
+    """The referenced job id is unknown to this server."""
+
+    code = "not_found"
+
+
+class ShuttingDownError(ServeError):
+    """The server is draining and accepts no new submissions."""
+
+    code = "shutting_down"
+
+
+class JobFailedError(ServeError):
+    """The job's run raised; the error travelled back over the wire."""
+
+    code = "failed"
+
+
+#: wire code -> exception class, for client-side re-raising
+ERROR_TYPES = {
+    cls.code: cls
+    for cls in (MalformedRequestError, QueueFullError, JobNotFoundError,
+                ShuttingDownError, JobFailedError)
+}
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON with sorted keys plus ``\\n``."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line into a dict.
+
+    Raises :class:`MalformedRequestError` for anything that is not a JSON
+    object -- the server turns that into a clean ``malformed`` reply
+    instead of dying.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as err:
+        raise MalformedRequestError(f"unparsable message: {err}") from None
+    if not isinstance(message, dict):
+        raise MalformedRequestError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_payload(err: Exception) -> Dict[str, str]:
+    """The wire form of an error: ``{"code": ..., "message": ...}``."""
+    code = err.code if isinstance(err, ServeError) else "failed"
+    return {"code": code, "message": str(err)}
+
+
+def raise_for_error(payload: Dict[str, Any]) -> None:
+    """Client-side: re-raise a wire error object as its typed exception."""
+    code = payload.get("code", "failed")
+    cls = ERROR_TYPES.get(code, ServeError)
+    raise cls(payload.get("message", code))

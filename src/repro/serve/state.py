@@ -1,0 +1,99 @@
+"""Live server state: job registry, metrics, and per-job trace spans.
+
+:class:`ServerState` is the daemon's single source of truth for the
+``jobs`` / ``state`` / ``spans`` endpoints.  Metrics live in a dedicated
+:class:`~repro.obs.MetricsRegistry` (``serve.*`` namespace) rendered as
+Prometheus-style text by :func:`repro.obs.prometheus_text`; spans of
+traced jobs are kept per job under their ``job:<id>`` tracks so the
+``spans`` endpoint exports one stacked Chrome-trace timeline per job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..obs import MetricsRegistry, SpanRecord, chrome_trace, prometheus_text
+from .jobs import TERMINAL_STATUSES, Job
+from .protocol import PROTOCOL_VERSION
+
+__all__ = ["ServerState"]
+
+
+class ServerState:
+    """Everything the daemon knows about itself, queryable over the wire."""
+
+    def __init__(self, workers: int, queue_capacity: int) -> None:
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self.jobs: Dict[str, Job] = {}
+        self.metrics = MetricsRegistry()
+        #: job_id -> finished SpanRecords (traced jobs only)
+        self._spans: Dict[str, List[SpanRecord]] = {}
+        self._next_job = 1
+        self.draining = False
+
+    # -- job registry ------------------------------------------------------
+
+    def new_job_id(self) -> str:
+        job_id = f"j{self._next_job:04d}"
+        self._next_job += 1
+        return job_id
+
+    def add(self, job: Job) -> None:
+        self.jobs[job.job_id] = job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def in_flight(self) -> int:
+        """Jobs admitted but not yet terminal (queued or running)."""
+        return sum(1 for j in self.jobs.values()
+                   if j.status not in TERMINAL_STATUSES)
+
+    # -- spans -------------------------------------------------------------
+
+    def store_spans(self, job_id: str, span_dicts: List[Dict[str, Any]]) -> None:
+        """Keep a traced job's spans (sent as dicts by its worker)."""
+        self._spans[job_id] = [
+            SpanRecord(
+                name=d["name"],
+                span_id=d["span_id"],
+                parent_id=d["parent_id"],
+                track=d["track"],
+                sim_start=d["sim_start"],
+                sim_end=d["sim_end"],
+                wall_start=d["wall_start"],
+                wall_end=d["wall_end"],
+                attrs=d.get("attrs", {}),
+            )
+            for d in span_dicts
+        ]
+
+    def spans_payload(self) -> Dict[str, Any]:
+        """Chrome trace-event payload of every traced job, one track each."""
+        records: List[SpanRecord] = []
+        for job_id in sorted(self._spans):
+            records.extend(self._spans[job_id])
+        return chrome_trace(records, metadata={"source": "repro serve",
+                                               "jobs": sorted(self._spans)})
+
+    # -- endpoints ---------------------------------------------------------
+
+    def state_payload(self, queued: int, running: int) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "draining": self.draining,
+            "workers": {"total": self.workers, "busy": running},
+            "queue": {"depth": queued, "capacity": self.queue_capacity},
+            "jobs": self.status_counts(),
+            "metrics_text": prometheus_text(self.metrics),
+        }
+
+    def jobs_payload(self) -> List[Dict[str, Any]]:
+        return [self.jobs[jid].summary() for jid in sorted(self.jobs)]

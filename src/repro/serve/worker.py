@@ -1,0 +1,81 @@
+"""Worker-process body: run one job, send its persisted result back.
+
+Each admitted job runs in its own child process so a cancellation can
+*really* stop mid-run work (the scheduler terminates the process and the
+worker slot frees immediately -- no cooperative checkpoints needed) and a
+crashing run can never take the daemon down.
+
+The child sends exactly one message over its pipe: ``{"ok": True, "run":
+<persisted RunResult dict>, "spans": [...]}`` or ``{"ok": False, "error":
+{...}}``.  Results travel in the same canonical persisted form the result
+cache stores, so a daemon round trip is bit-for-bit identical to an
+in-process run of the same config (the determinism contract pinned by
+``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["run_job_in_child", "job_track"]
+
+
+def job_track(job_id: str) -> str:
+    """The tracer track of one daemon job.
+
+    Every concurrently running job gets its own track, so spans of several
+    jobs stack as separate Perfetto timelines instead of colliding on the
+    one-run-per-track assumption the batch harness makes.
+    """
+    return f"job:{job_id}"
+
+
+def run_job_in_child(
+    conn,
+    config_dict: Dict[str, Any],
+    scheme: str,
+    job_id: str,
+    trace_spans: bool,
+    cache_dir: Optional[str],
+) -> None:
+    """Process target: execute ``(config, scheme)`` and pipe the result back.
+
+    ``cache_dir`` non-``None`` stores the fresh result into the
+    content-addressed cache (safe under concurrent workers: entry writes
+    are atomic) so later identical submissions become cache hits.
+    """
+    try:
+        from ..harness.experiment import execute_scheme, resolve_trace_config
+        from ..harness.persist import run_result_to_dict
+        from .wire import config_from_wire
+
+        cfg = resolve_trace_config(config_from_wire(config_dict))
+        tracer = None
+        if trace_spans:
+            from ..obs import Tracer
+
+            tracer = Tracer(track=job_track(job_id))
+        result = execute_scheme(cfg, scheme, tracer=tracer)
+        if cache_dir is not None:
+            try:
+                from ..exec import ResultCache, task_key
+
+                ResultCache(cache_dir).put(task_key(cfg, scheme), result)
+            except Exception:
+                # a broken cache directory must not fail the job
+                pass
+        payload: Dict[str, Any] = {"ok": True, "run": run_result_to_dict(result)}
+        if trace_spans:
+            payload["spans"] = [s.to_dict() for s in (result.spans or [])]
+        conn.send(payload)
+    except Exception as err:  # noqa: BLE001 - everything becomes a wire error
+        try:
+            conn.send({
+                "ok": False,
+                "error": {"code": "failed",
+                          "message": f"{type(err).__name__}: {err}"},
+            })
+        except (BrokenPipeError, OSError):  # parent already gone
+            pass
+    finally:
+        conn.close()

@@ -22,7 +22,12 @@ contract.
 """
 
 from .recorder import TraceRecorder, record_run
-from .replay import TraceReplayRunner, load_trace_source, replay_trace
+from .replay import (
+    TraceReplayRunner,
+    default_replay_steps,
+    load_trace_source,
+    replay_trace,
+)
 from .schema import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -56,6 +61,7 @@ __all__ = [
     "record_run",
     "replay_trace",
     "load_trace_source",
+    "default_replay_steps",
     "read_trace",
     "write_trace",
     "trace_file_hash",

@@ -42,7 +42,8 @@ from ..obs import NULL_TRACER, MetricsRegistry, Tracer, get_default_metrics
 from ..runtime.runner import SAMRRunner
 from .schema import Trace, TraceReplayError, decode_box, read_trace
 
-__all__ = ["TraceReplayRunner", "replay_trace", "load_trace_source"]
+__all__ = ["TraceReplayRunner", "replay_trace", "load_trace_source",
+           "default_replay_steps"]
 
 
 class _TraceApp:
@@ -252,6 +253,22 @@ class TraceReplayRunner(SAMRRunner):
         if self.manifest_fallbacks:
             m.counter("trace.manifest_fallbacks").inc(self.manifest_fallbacks)
         return result
+
+
+def default_replay_steps(source) -> int:
+    """How many coarse steps a replay of ``source`` covers by default.
+
+    Synthetic generators have no inherent length, so they get the
+    harness's default of 4; file traces replay in full.  Raises
+    :class:`TraceFormatError` for unreadable files -- callers (the
+    ``repro replay`` / ``repro submit`` commands) surface it as a usage
+    error.
+    """
+    from .synth import parse_synth_source
+
+    if parse_synth_source(str(source)) is not None:
+        return 4
+    return max(1, read_trace(source).nsteps)
 
 
 def load_trace_source(cfg) -> Trace:

@@ -73,6 +73,14 @@ EXPECTED_API = [
     "write_span_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "prometheus_text",
+    # serving daemon
+    "ServeServer",
+    "ServeClient",
+    "AsyncServeClient",
+    "JobResult",
+    "ServeError",
+    "QueueFullError",
     # workload traces
     "Trace",
     "TraceFormatError",

@@ -234,6 +234,38 @@ class TestExecFlags:
         assert "profile (top 20 by cumulative time)" in out
         assert "cumtime" in out
 
+    def test_serve_family_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--queue-size", "8"])
+        assert args.workers == 4 and args.queue_size == 8
+        args = build_parser().parse_args(
+            ["submit", "--source", "synth:hotspot", "--sweep", "1", "2",
+             "--priority", "5", "--no-wait"])
+        assert args.sweep == [1, 2] and args.priority == 5 and args.no_wait
+        assert args.steps is None  # resolved from the source at run time
+        args = build_parser().parse_args(["cancel", "j0001"])
+        assert args.job_id == "j0001"
+        with pytest.raises(SystemExit):  # sweep procs must be >= 1
+            build_parser().parse_args(["submit", "--sweep", "0"])
+
+    def test_submit_without_daemon_exits_2(self, capsys, tmp_path):
+        sock = str(tmp_path / "nope.sock")
+        for argv in (
+            ["submit", "--steps", "2", "--socket", sock],
+            ["jobs", "--socket", sock],
+            ["cancel", "j0001", "--socket", sock],
+        ):
+            assert main(argv) == 2
+            out = capsys.readouterr().out
+            assert "cannot reach the serve daemon" in out
+            assert "repro serve" in out
+
+    def test_submit_bad_trace_source_exits_2(self, capsys, tmp_path):
+        rc = main(["submit", "--source", str(tmp_path / "missing.gz"),
+                   "--socket", str(tmp_path / "nope.sock")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().out
+
     def test_cache_subcommand_info_and_clear(self, capsys, tmp_path):
         sweep_argv = ["sweep", "--configs", "1", "--steps", "2",
                       "--cache-dir", str(tmp_path)]

@@ -27,6 +27,22 @@ from repro.harness.persist import run_result_to_dict
 SMALL = ExperimentConfig(procs_per_group=1, steps=2)
 
 
+def _hammer_cache_put(cache_dir, key, result, n):
+    """Child-process body: store the same entry ``n`` times."""
+    cache = ResultCache(cache_dir)
+    for _ in range(n):
+        cache.put(key, result)
+
+
+def _hammer_metrics_flush(cache_dir, n):
+    """Child-process body: fold counter deltas into metrics.json ``n``
+    times."""
+    cache = ResultCache(cache_dir)
+    for _ in range(n):
+        cache.hits += 1
+        cache.flush_metrics()
+
+
 def comparable(result):
     """All persisted RunResult fields; the event log is summarised by
     run_result_to_dict and dropped here (cache hits carry no events)."""
@@ -119,6 +135,75 @@ class TestResultCache:
     def test_default_dir_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
         assert str(default_cache_dir()) == "/tmp/somewhere"
+
+    def test_get_run_dict_is_the_stored_form(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key(SMALL, "distributed")
+        assert cache.get_run_dict(key) is None
+        result = run_experiment(SMALL, "distributed")
+        cache.put(key, result)
+        raw = cache.get_run_dict(key)
+        # verbatim persisted form: event_counts survive, unlike the
+        # reconstructed RunResult of get() (whose event log is gone)
+        assert raw == run_result_to_dict(result)
+        assert raw["event_counts"]
+        assert cache.hits == 1
+
+    def test_concurrent_writers_never_corrupt_entries(self, tmp_path):
+        """Regression: a shared fixed temp-file name let two concurrent
+        put()s interleave write/rename and publish a torn entry.  Hammer
+        one key from many processes while a reader checks every observed
+        state is either absent or a complete, valid entry."""
+        import multiprocessing
+
+        result = run_experiment(SMALL, "distributed")
+        key = task_key(SMALL, "distributed")
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_cache_put,
+                args=(str(tmp_path), key, result, 25))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        reader = ResultCache(tmp_path)
+        good = 0
+        try:
+            while any(p.is_alive() for p in procs):
+                served = reader.get_run_dict(key)
+                if served is not None:
+                    assert served == run_result_to_dict(result)
+                    good += 1
+        finally:
+            for p in procs:
+                p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        assert good > 0  # the reader really did observe published entries
+        # the final state is valid and no temp litter is left behind
+        assert reader.get_run_dict(key) == run_result_to_dict(result)
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_concurrent_metrics_flush_keeps_file_parsable(self, tmp_path):
+        import multiprocessing
+
+        procs = [
+            multiprocessing.Process(target=_hammer_metrics_flush,
+                                    args=(str(tmp_path), 25))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        reader = ResultCache(tmp_path)
+        try:
+            while any(p.is_alive() for p in procs):
+                totals = reader._read_metrics_file()  # parses or raises
+                assert all(v >= 0 for v in totals.values())
+        finally:
+            for p in procs:
+                p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        # increments may race away, but the file stays valid and nonzero
+        assert reader.lifetime_metrics()["exec.cache_hits"] > 0
 
 
 class TestExecutors:

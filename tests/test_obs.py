@@ -11,6 +11,7 @@ from repro.obs import (
     chrome_trace,
     flame_summary,
     get_default_metrics,
+    prometheus_text,
     series_name,
     set_default_metrics,
     span_jsonl_lines,
@@ -154,6 +155,52 @@ class TestMetricsRegistry:
             assert get_default_metrics() is fresh
         finally:
             set_default_metrics(previous)
+
+
+class TestPrometheusText:
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_counter_gauge_histogram_forms(self):
+        m = MetricsRegistry()
+        m.counter("serve.jobs_submitted").inc(3)
+        m.gauge("serve.queue_depth").set(2)
+        h = m.histogram("serve.job_wall_seconds")
+        h.observe(0.5)
+        h.observe(1.5)
+        text = prometheus_text(m)
+        assert "# TYPE serve_jobs_submitted_total counter" in text
+        assert "serve_jobs_submitted_total 3" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 2" in text
+        assert "# TYPE serve_job_wall_seconds summary" in text
+        assert "serve_job_wall_seconds_count 2" in text
+        assert "serve_job_wall_seconds_sum 2" in text
+        assert "serve_job_wall_seconds_min 0.5" in text
+        assert "serve_job_wall_seconds_max 1.5" in text
+        assert text.endswith("\n")
+
+    def test_labels_render_in_braces(self):
+        m = MetricsRegistry()
+        m.counter("serve.jobs_completed", status="done").inc()
+        m.counter("serve.jobs_completed", status="failed").inc(2)
+        text = prometheus_text(m)
+        assert 'serve_jobs_completed_total{status="done"} 1' in text
+        assert 'serve_jobs_completed_total{status="failed"} 2' in text
+        # one TYPE header for the metric, not one per labeled series
+        assert text.count("# TYPE serve_jobs_completed_total") == 1
+
+    def test_output_is_deterministic(self):
+        def build():
+            m = MetricsRegistry()
+            m.counter("b.second").inc()
+            m.counter("a.first", k="v").inc()
+            m.gauge("c.third").set(1)
+            return m
+
+        assert prometheus_text(build()) == prometheus_text(build())
+        lines = prometheus_text(build()).splitlines()
+        assert lines[0].startswith("# TYPE a_first")
 
 
 def _sample_records():

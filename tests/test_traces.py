@@ -64,6 +64,18 @@ class TestRoundTrip:
         text = recorded.describe()
         assert "ShockPool3D" in text and "2 steps" in text
 
+    def test_default_replay_steps(self, recorded, tmp_path):
+        from repro.traces import TraceFormatError, default_replay_steps
+
+        path = tmp_path / "t.trace.jsonl.gz"
+        write_trace(recorded, path)
+        # file traces replay in full; synthetic sources get the harness
+        # default of 4 (they have no inherent length)
+        assert default_replay_steps(path) == recorded.nsteps
+        assert default_replay_steps("synth:hotspot") == 4
+        with pytest.raises(TraceFormatError):
+            default_replay_steps(tmp_path / "missing.trace.jsonl.gz")
+
 
 class TestCorruptInputs:
     def _write(self, tmp_path, lines, name="bad.trace.jsonl.gz"):
