@@ -1,0 +1,164 @@
+"""Solver hot-path benchmark: the vectorized runtime vs the scalar seed.
+
+The BoxArray batch-geometry layer (``repro.amr.boxarray``) rebuilt every hot
+loop of the AMR solver and the cluster simulator -- signature-table
+clustering, batched regrid clipping, triangle sibling adjacency, and batched
+message-cost accounting -- on whole-level ``int64`` array kernels.  The
+contract is twofold and this bench measures both halves honestly on the same
+machine:
+
+* **speed**: the full benchmark run must be >= 10x faster than the recorded
+  scalar-seed wall-clock (``seed_baseline_seconds`` in
+  ``tests/data/golden_bench_solver.json``, the min of three runs captured on
+  this container before the vectorization);
+* **identity**: the run's result, its faulted variant and its recorded trace
+  must hash bit-for-bit to the goldens captured from the scalar code.
+
+The numbers land in ``BENCH_solver.json`` at the repo root.  CI runs the
+same scenario on a smaller configuration with a >= 5x floor (timer noise on
+shared runners), see ``perf-smoke`` in the workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.config import FaultParams
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.persist import run_result_to_dict
+from repro.harness.report import format_table
+from repro.traces import record_run, replay_trace, write_trace
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_solver.json"
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "tests" / "data" / "golden_bench_solver.json"
+
+#: same scenario the goldens and the seed baseline were captured on; the CI
+#: perf-smoke job shrinks it to 2 steps via PERF_SOLVER_STEPS (the identity
+#: checks then switch to internal record/replay equality and the seed
+#: baseline is scaled linearly in the step count -- a smoke approximation)
+STEPS = int(os.environ.get("PERF_SOLVER_STEPS", "3"))
+CONFIG = ExperimentConfig(app_name="shockpool3d", network="wan",
+                          procs_per_group=4, steps=STEPS, domain_cells=32,
+                          max_levels=3)
+SCHEME = "distributed"
+
+#: wall-clock repeats; the minimum is the honest estimate of the code path's
+#: cost (larger values are scheduler noise)
+REPEATS = int(os.environ.get("PERF_SOLVER_REPEATS", "5"))
+
+#: acceptance floor for the full-size run (the CI smoke config uses 5x)
+MIN_SPEEDUP = float(os.environ.get("PERF_SOLVER_MIN_SPEEDUP", "10.0"))
+
+
+def _result_hash(result) -> str:
+    payload = json.dumps(run_result_to_dict(result), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _scenario(tmp_dir: Path):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    on_golden_config = STEPS == golden["config"]["steps"]
+
+    times = []
+    result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run_experiment(CONFIG, SCHEME)
+        times.append(time.perf_counter() - t0)
+    full_s = min(times)
+
+    identical = {}
+    recorded, trace = record_run(CONFIG, SCHEME)
+    replayed = replay_trace(trace, CONFIG, SCHEME, strict=True)
+    trace_path = tmp_dir / "solver_bench.trace.jsonl.gz"
+    write_trace(trace, trace_path)
+    if on_golden_config:
+        identical["result"] = (
+            _result_hash(result) == golden["results"][f"bench/{SCHEME}"]
+        )
+        for scheme in ("diffusion", "parallel", "static"):
+            identical[scheme] = (
+                _result_hash(run_experiment(CONFIG, scheme))
+                == golden["results"][f"bench/{scheme}"]
+            )
+        faulted = run_experiment(
+            dataclasses.replace(CONFIG, fault=FaultParams(scenario="slowdown")),
+            SCHEME,
+        )
+        identical["faulted"] = (
+            _result_hash(faulted) == golden["results"]["faulted/distributed"]
+        )
+        identical["recorded"] = (
+            _result_hash(recorded) == golden["results"]["bench/recorded"]
+        )
+        identical["replayed"] = (
+            _result_hash(replayed) == golden["results"]["bench/replayed"]
+        )
+        identical["trace_bytes"] = (
+            hashlib.sha256(trace_path.read_bytes()).hexdigest()
+            == golden["trace_sha256"]
+        )
+        baseline = golden["seed_baseline_seconds"]
+    else:
+        # off the golden config there are no pinned hashes; fall back to the
+        # internal equality contract (full == recorded == replayed)
+        identical["full_eq_recorded"] = _result_hash(result) == _result_hash(recorded)
+        identical["recorded_eq_replayed"] = (
+            _result_hash(recorded) == _result_hash(replayed)
+        )
+        baseline = (
+            golden["seed_baseline_seconds"] * STEPS / golden["config"]["steps"]
+        )
+    return {
+        "benchmark": "solver-vectorization",
+        "config": {
+            "app": CONFIG.app_name,
+            "network": CONFIG.network,
+            "procs_per_group": CONFIG.procs_per_group,
+            "steps": CONFIG.steps,
+            "domain_cells": CONFIG.domain_cells,
+            "max_levels": CONFIG.max_levels,
+            "scheme": SCHEME,
+        },
+        "cpu_count": os.cpu_count(),
+        "repeats": REPEATS,
+        "full_run_seconds": full_s,
+        "full_run_seconds_all": times,
+        "seed_baseline_seconds": baseline,
+        "seed_baseline_seconds_all": golden["seed_baseline_all"],
+        "speedup": baseline / full_s,
+        "identical_results": all(identical.values()),
+        "identity_checks": identical,
+    }
+
+
+def test_solver_vectorization_speedup(once, benchmark, tmp_path):
+    record = once(benchmark, _scenario, tmp_path)
+
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ("scalar seed (recorded)", record["seed_baseline_seconds"], 1.0),
+        ("vectorized run", record["full_run_seconds"], record["speedup"]),
+    ]
+    print()
+    print(format_table(
+        ["code path", "wall-clock [s]", "speedup vs seed"], rows,
+        title=f"{record['config']['app']} {record['config']['domain_cells']}^3"
+              f" x{record['config']['steps']} steps, {record['config']['scheme']}"
+              f" scheme -> {BENCH_PATH.name}",
+    ))
+
+    failed = [k for k, v in record["identity_checks"].items() if not v]
+    assert record["identical_results"], (
+        f"vectorized runtime diverged from the scalar goldens: {failed}"
+    )
+    assert record["speedup"] >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP:.0f}x full-run speedup over the scalar "
+        f"seed, got {record['speedup']:.2f}x"
+    )

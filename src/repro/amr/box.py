@@ -66,6 +66,19 @@ class Box:
         object.__setattr__(self, "lo", lo)
         object.__setattr__(self, "hi", hi)
 
+    @classmethod
+    def _unchecked(cls, lo: IntVec, hi: IntVec) -> "Box":
+        """Construct without validation (hot paths with known-good corners).
+
+        ``lo``/``hi`` must already be equal-rank tuples of python ints with
+        ``hi >= lo`` -- batch kernels that derive corners from validated
+        integer arrays use this to skip the per-box re-validation.
+        """
+        box = object.__new__(cls)
+        object.__setattr__(box, "lo", lo)
+        object.__setattr__(box, "hi", hi)
+        return box
+
     # ------------------------------------------------------------------ #
     # basic geometry
     # ------------------------------------------------------------------ #
@@ -77,21 +90,35 @@ class Box:
 
     @property
     def shape(self) -> IntVec:
-        """Cell counts along each axis."""
-        return tuple(h - l for l, h in zip(self.lo, self.hi))
+        """Cell counts along each axis (cached -- the box is immutable)."""
+        try:
+            return self._shape  # type: ignore[attr-defined]
+        except AttributeError:
+            shape = tuple(h - l for l, h in zip(self.lo, self.hi))
+            object.__setattr__(self, "_shape", shape)
+            return shape
 
     @property
     def ncells(self) -> int:
-        """Total number of lattice cells in the box (0 if empty)."""
-        n = 1
-        for s in self.shape:
-            n *= s
-        return n
+        """Total number of lattice cells in the box (0 if empty; cached)."""
+        try:
+            return self._ncells  # type: ignore[attr-defined]
+        except AttributeError:
+            n = 1
+            for s in self.shape:
+                n *= s
+            object.__setattr__(self, "_ncells", n)
+            return n
 
     @property
     def is_empty(self) -> bool:
-        """True if the box contains no cells."""
-        return any(h <= l for l, h in zip(self.lo, self.hi))
+        """True if the box contains no cells (cached)."""
+        try:
+            return self._is_empty  # type: ignore[attr-defined]
+        except AttributeError:
+            empty = any(h <= l for l, h in zip(self.lo, self.hi))
+            object.__setattr__(self, "_is_empty", empty)
+            return empty
 
     def center(self) -> Tuple[float, ...]:
         """Geometric centre of the box in cell coordinates."""
@@ -223,11 +250,16 @@ class Box:
                 f"split plane {at} outside open interval "
                 f"({self.lo[axis]}, {self.hi[axis]}) on axis {axis}"
             )
+        at = int(at)
         left_hi = list(self.hi)
         left_hi[axis] = at
         right_lo = list(self.lo)
         right_lo[axis] = at
-        return Box(self.lo, tuple(left_hi)), Box(tuple(right_lo), self.hi)
+        # corners are this box's validated corners plus the checked plane
+        return (
+            Box._unchecked(self.lo, tuple(left_hi)),
+            Box._unchecked(tuple(right_lo), self.hi),
+        )
 
     def longest_axis(self) -> int:
         """Index of the longest axis (ties broken toward lower index)."""

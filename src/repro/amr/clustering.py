@@ -76,33 +76,47 @@ def cluster_flags(field: FlagField, params: Optional[ClusterParams] = None) -> L
     Returns a list of disjoint boxes, each contained in ``field.box``, that
     together cover every flagged cell.  The list is sorted (deterministic
     output for identical input).
+
+    The signatures :math:`\\Sigma_d` driving the recursion are read from
+    per-axis prefix-sum tables built once per call (:class:`_SignatureTable`)
+    instead of re-reducing a sub-array per candidate box; box efficiencies
+    come from the same tables.  The boxes produced are identical to the
+    per-box reduction — signatures are integer counts either way.
     """
     params = params or ClusterParams()
     if not field.any:
         return []
+    table = _SignatureTable(field)
     out: List[Box] = []
-    stack = [_shrink_to_flags(field, field.box)]
+    stack = [table.shrink(field.box)]
     while stack:
-        box = stack.pop()
-        if box is None or box.is_empty:
+        item = stack.pop()
+        if item is None:
             continue
-        eff = fill_efficiency(field, box)
-        if eff == 0.0:
+        box, sigs, nflagged = item
+        if nflagged == 0:
             continue
-        splittable = any(s >= 2 * params.min_width for s in box.shape)
-        if (eff >= params.min_efficiency and box.ncells <= params.max_cells) or not splittable:
-            if box.ncells > params.max_cells and splittable:
+        # shape/ncells read off the signatures (len(sigs[d]) == box.shape[d]
+        # after shrink) to skip per-box property recomputation.
+        shape = tuple(s.shape[0] for s in sigs)
+        ncells = 1
+        for extent in shape:
+            ncells *= extent
+        eff = nflagged / ncells
+        splittable = any(s >= 2 * params.min_width for s in shape)
+        if (eff >= params.min_efficiency and ncells <= params.max_cells) or not splittable:
+            if ncells > params.max_cells and splittable:
                 pass  # fall through to split below
             else:
                 out.append(box)
                 continue
-        split = _find_split(field, box, params)
+        split = _find_split(box, sigs, params)
         if split is None:
             out.append(box)
             continue
         left, right = split
-        stack.append(_shrink_to_flags(field, left))
-        stack.append(_shrink_to_flags(field, right))
+        stack.append(table.shrink(left))
+        stack.append(table.shrink(right))
     out.sort()
     return out
 
@@ -112,55 +126,160 @@ def cluster_flags(field: FlagField, params: Optional[ClusterParams] = None) -> L
 # --------------------------------------------------------------------- #
 
 
-def _shrink_to_flags(field: FlagField, box: Box) -> Optional[Box]:
-    """Bounding box of the flagged cells inside ``box`` (None if none)."""
-    if box.is_empty:
-        return None
-    sub = field.restrict(box).flags
-    if not sub.any():
-        return None
-    lo = list(box.lo)
-    hi = list(box.hi)
-    for d in range(box.ndim):
-        axes = tuple(a for a in range(box.ndim) if a != d)
-        sig = sub.any(axis=axes) if axes else sub
-        nz = np.flatnonzero(sig)
-        lo[d] = box.lo[d] + int(nz[0])
-        hi[d] = box.lo[d] + int(nz[-1]) + 1
-    return Box(tuple(lo), tuple(hi))
+#: (shrunk box, its per-axis signatures, its flagged-cell count)
+_Candidate = Tuple[Box, List[np.ndarray], int]
 
 
-def _signatures(field: FlagField, box: Box) -> List[np.ndarray]:
-    """Per-axis flag signatures :math:`\\Sigma_d` of the box."""
-    sub = field.restrict(box).flags
-    sigs = []
-    for d in range(box.ndim):
-        axes = tuple(a for a in range(box.ndim) if a != d)
-        sigs.append(sub.sum(axis=axes, dtype=np.int64) if axes else sub.astype(np.int64))
-    return sigs
+class _SignatureTable:
+    """Per-axis prefix-sum tables answering signature queries for any sub-box.
+
+    For each axis ``d`` the table holds the flag array cumulatively summed
+    (``np.cumsum``) along every *other* axis, zero-padded by one plane at the
+    low end.  The signature :math:`\\Sigma_d` of an arbitrary sub-box is then
+    an inclusion--exclusion combination of ``2^(ndim-1)`` table slices — one
+    vectorized expression per axis instead of a reduction over the sub-box.
+    All arithmetic is ``int64`` counts, so results match the direct
+    ``sub.sum(axis=...)`` bit-for-bit.
+    """
+
+    __slots__ = ("origin", "ndim", "tables", "others")
+
+    def __init__(self, field: FlagField) -> None:
+        self.origin = field.box.lo
+        flags = field.flags
+        self.ndim = flags.ndim
+        self.tables: List[np.ndarray] = []
+        self.others: List[Tuple[int, ...]] = []
+        for d in range(self.ndim):
+            t = flags.astype(np.int64)
+            for ax in range(self.ndim):
+                if ax != d:
+                    t = t.cumsum(axis=ax)
+            pad = [(0, 0) if ax == d else (1, 0) for ax in range(self.ndim)]
+            self.tables.append(np.pad(t, pad))
+            self.others.append(tuple(ax for ax in range(self.ndim) if ax != d))
+
+    def signature(self, box: Box, d: int) -> np.ndarray:
+        """:math:`\\Sigma_d` over ``box`` (len ``box.shape[d]``, int64)."""
+        o = self.origin
+        blo = box.lo
+        bhi = box.hi
+        table = self.tables[d]
+        # Direct inclusion-exclusion expressions for the common ranks; the
+        # generic mask loop below covers the rest.  Integer arithmetic, so
+        # the evaluation order is immaterial.
+        if self.ndim == 3:
+            l0, l1, l2 = blo[0] - o[0], blo[1] - o[1], blo[2] - o[2]
+            h0, h1, h2 = bhi[0] - o[0], bhi[1] - o[1], bhi[2] - o[2]
+            if d == 0:
+                s = slice(l0, h0)
+                return (
+                    table[s, h1, h2] - table[s, l1, h2]
+                    - table[s, h1, l2] + table[s, l1, l2]
+                )
+            if d == 1:
+                s = slice(l1, h1)
+                return (
+                    table[h0, s, h2] - table[l0, s, h2]
+                    - table[h0, s, l2] + table[l0, s, l2]
+                )
+            s = slice(l2, h2)
+            return (
+                table[h0, h1, s] - table[l0, h1, s]
+                - table[h0, l1, s] + table[l0, l1, s]
+            )
+        if self.ndim == 2:
+            l0, l1 = blo[0] - o[0], blo[1] - o[1]
+            h0, h1 = bhi[0] - o[0], bhi[1] - o[1]
+            if d == 0:
+                return table[slice(l0, h0), h1] - table[slice(l0, h0), l1]
+            return table[h0, slice(l1, h1)] - table[l0, slice(l1, h1)]
+        lo = tuple(blo[a] - o[a] for a in range(self.ndim))
+        hi = tuple(bhi[a] - o[a] for a in range(self.ndim))
+        others = self.others[d]
+        base: List[object] = [0] * self.ndim
+        base[d] = slice(lo[d], hi[d])
+        out: Optional[np.ndarray] = None
+        for mask in range(1 << len(others)):
+            idx = list(base)
+            bits = 0
+            for j, ax in enumerate(others):
+                if (mask >> j) & 1:
+                    idx[ax] = lo[ax]
+                    bits += 1
+                else:
+                    idx[ax] = hi[ax]
+            term = table[tuple(idx)]
+            if out is None:
+                out = term.copy()
+            elif bits % 2:
+                out -= term
+            else:
+                out += term
+        assert out is not None
+        return out
+
+    def shrink(self, box: Box) -> Optional[_Candidate]:
+        """Bounding box of the flagged cells inside ``box`` plus its
+        signatures and flag count (None if the box holds no flags).
+
+        The shrunk box's signatures are the original ones sliced to the
+        nonzero range: trimming a zero-signature plane along one axis removes
+        only flagless cells, so the other axes' signatures are unchanged.
+        """
+        if box.is_empty:
+            return None
+        sigs = [self.signature(box, d) for d in range(self.ndim)]
+        nz0 = np.nonzero(sigs[0])[0]
+        if len(nz0) == 0:
+            return None
+        lo = list(box.lo)
+        hi = list(box.hi)
+        for d in range(self.ndim):
+            nz = nz0 if d == 0 else np.nonzero(sigs[d])[0]
+            a, b = int(nz[0]), int(nz[-1]) + 1
+            lo[d] = box.lo[d] + a
+            hi[d] = box.lo[d] + b
+            sigs[d] = sigs[d][a:b]
+        # corners are validated box corners plus in-range offsets
+        return Box._unchecked(tuple(lo), tuple(hi)), sigs, int(sigs[0].sum())
 
 
 def _find_split(
-    field: FlagField, box: Box, params: ClusterParams
+    box: Box, sigs: List[np.ndarray], params: ClusterParams
 ) -> Optional[Tuple[Box, Box]]:
-    """Choose a split plane for an inefficient/oversized box."""
-    sigs = _signatures(field, box)
+    """Choose a split plane for an inefficient/oversized box.
+
+    Candidate planes per preference tier are enumerated as arrays; ties
+    resolve to the first candidate in (axis, position) order via
+    ``np.argmax``'s first-maximum rule — the same winner the former scalar
+    scan with its strict ``>`` updates produced.
+    """
+    min_w = params.min_width
     # --- (a) holes: zero-signature planes ----------------------------- #
     best_hole: Optional[Tuple[int, int]] = None  # (axis, plane)
     best_hole_centrality = -1.0
     for d in range(box.ndim):
         sig = sigs[d]
-        n = len(sig)
-        zeros = np.flatnonzero(sig == 0)
-        for z in zeros:
-            plane = box.lo[d] + int(z)  # split before the hole cell
-            for candidate in (plane, plane + 1):
-                if _valid_plane(box, d, candidate, params.min_width):
-                    # prefer holes near the middle of the box
-                    centrality = -abs((candidate - box.lo[d]) / n - 0.5)
-                    if centrality > best_hole_centrality:
-                        best_hole_centrality = centrality
-                        best_hole = (d, candidate)
+        if len(sig) < 2 * min_w:
+            continue  # no plane can leave min_width on both sides
+        zeros = np.nonzero(sig == 0)[0]
+        if len(zeros) == 0:
+            continue
+        # each hole cell offers two planes (before / after it), tried in
+        # that order by the scalar scan: interleave to preserve it
+        cand = np.empty(2 * len(zeros), dtype=np.int64)
+        cand[0::2] = box.lo[d] + zeros  # split before the hole cell
+        cand[1::2] = cand[0::2] + 1
+        cand = cand[(cand >= box.lo[d] + min_w) & (cand <= box.hi[d] - min_w)]
+        if len(cand) == 0:
+            continue
+        # prefer holes near the middle of the box
+        centrality = -np.abs((cand - box.lo[d]) / len(sig) - 0.5)
+        k = int(np.argmax(centrality))
+        if centrality[k] > best_hole_centrality:
+            best_hole_centrality = float(centrality[k])
+            best_hole = (d, int(cand[k]))
     if best_hole is not None:
         axis, plane = best_hole
         return box.split(axis, plane)
@@ -169,16 +288,22 @@ def _find_split(
     best_strength = 0
     for d in range(box.ndim):
         sig = sigs[d]
-        if len(sig) < 4:
+        if len(sig) < 4 or len(sig) < 2 * min_w:
             continue
         lap = sig[2:] - 2 * sig[1:-1] + sig[:-2]  # Δ at interior indices 1..n-2
-        for i in range(len(lap) - 1):
-            if lap[i] * lap[i + 1] < 0:
-                strength = abs(int(lap[i]) - int(lap[i + 1]))
-                plane = box.lo[d] + i + 2  # between signature cells i+1, i+2
-                if strength > best_strength and _valid_plane(box, d, plane, params.min_width):
-                    best_strength = strength
-                    best_edge = (d, plane)
+        cross = np.nonzero(lap[:-1] * lap[1:] < 0)[0]
+        if len(cross) == 0:
+            continue
+        planes = box.lo[d] + cross + 2  # between signature cells i+1, i+2
+        valid = (planes >= box.lo[d] + min_w) & (planes <= box.hi[d] - min_w)
+        if not valid.any():
+            continue
+        strength = np.abs(lap[cross[valid]] - lap[cross[valid] + 1])
+        planes = planes[valid]
+        k = int(np.argmax(strength))
+        if int(strength[k]) > best_strength:
+            best_strength = int(strength[k])
+            best_edge = (d, int(planes[k]))
     if best_edge is not None:
         axis, plane = best_edge
         return box.split(axis, plane)

@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from .box import Box
+from .boxarray import BoxArray
 from .clustering import ClusterParams, cluster_flags
 from .flagging import FlagField, buffer_flags
 from .grid import Grid
@@ -119,46 +120,95 @@ def apply_cluster_boxes(
     box against the level-``coarse_level`` grids (proper nesting by
     construction), refines the surviving pieces and installs them.
 
-    ``validate=False`` skips the hierarchy's nesting/disjointness checks on
-    insert: clipping disjoint cluster boxes against disjoint parents makes
-    both properties hold by construction, so trace replay (where this is the
-    per-regrid hot path) opts out of the redundant ``O(n^2)`` scan.  The
-    resulting grids are identical either way.
+    The clip is one batched :class:`~repro.amr.boxarray.BoxArray` kernel:
+    all ``(cluster, parent)`` intersections are computed at once and only
+    the surviving pieces materialise as :class:`Box` objects, in the same
+    (cluster-major, parent-minor) order the scalar loop produced -- grid ids
+    and results are bit-for-bit identical.
+
+    ``validate=False`` skips the nesting/disjointness checks entirely:
+    clipping disjoint cluster boxes against disjoint parents makes both
+    properties hold by construction, so trace replay (where this is the
+    per-regrid hot path) opts out.  ``validate=True`` performs the same
+    checks :meth:`~repro.amr.hierarchy.GridHierarchy.add_grid` would, but
+    batched over the whole level instead of ``O(n)`` per insert.
     """
     fine_level = coarse_level + 1
     if fine_level >= hierarchy.max_levels:
         return []
     # Discard the old fine level (and, transitively, everything finer).
     hierarchy.clear_level(fine_level)
-    created: List[Grid] = []
     ratio = hierarchy.refinement_ratio
     parents = hierarchy.level_grids(coarse_level)
     ndim = hierarchy.domain.ndim
-    for cbox in cluster_boxes:
-        clo, chi = cbox.lo, cbox.hi
-        for parent in parents:
-            # cheap separating-axis rejection before constructing the
-            # intersection Box: almost every (cluster, parent) pair on a
-            # finely tiled level is disjoint, and this inner loop is the
-            # hot path of both regridding and trace replay
-            plo, phi = parent.box.lo, parent.box.hi
-            if any(clo[d] >= phi[d] or plo[d] >= chi[d] for d in range(ndim)):
-                continue
-            piece = cbox.intersection(parent.box)
-            if piece.is_empty or piece.ncells < min_piece_cells:
-                continue
-            child_box = piece.refine(ratio)
-            if validate:
-                created.append(
-                    hierarchy.add_grid(fine_level, child_box, parent.gid,
-                                       work_per_cell=work_per_cell)
-                )
-            else:
-                created.append(
-                    hierarchy._insert(fine_level, child_box, parent.gid,
-                                      work_per_cell)
-                )
+    if not cluster_boxes or not parents:
+        return []
+    cba = BoxArray.from_boxes(cluster_boxes, ndim=ndim)
+    pba = BoxArray.from_boxes([p.box for p in parents], ndim=ndim)
+    lo, hi = cba.intersection_pairwise(pba)
+    piece_cells = np.maximum(hi - lo, 0).prod(axis=2)
+    keep = piece_cells >= max(1, min_piece_cells)
+    # np.nonzero walks the (cluster, parent) matrix row-major: identical
+    # piece order (and therefore gid allocation) to the old nested loop
+    ci, pi = np.nonzero(keep)
+    piece_lo = lo[ci, pi] * ratio
+    piece_hi = hi[ci, pi] * ratio
+    if validate:
+        _validate_pieces(hierarchy, fine_level, parents, pi, piece_lo, piece_hi, ratio)
+    created: List[Grid] = []
+    for k in range(len(ci)):
+        # corners come from clipped int64 arrays with hi > lo (piece_cells
+        # >= 1), so the validating constructor adds nothing here
+        child_box = Box._unchecked(tuple(int(x) for x in piece_lo[k]),
+                                   tuple(int(x) for x in piece_hi[k]))
+        created.append(
+            hierarchy._insert(fine_level, child_box, parents[pi[k]].gid,
+                              work_per_cell)
+        )
     return created
+
+
+def _validate_pieces(
+    hierarchy: GridHierarchy,
+    fine_level: int,
+    parents: List[Grid],
+    parent_idx: np.ndarray,
+    piece_lo: np.ndarray,
+    piece_hi: np.ndarray,
+    ratio: int,
+) -> None:
+    """Batched equivalent of the per-insert ``add_grid`` checks.
+
+    Verifies every piece nests in its parent's refined box and that the
+    pieces are pairwise disjoint (the fine level was just cleared, so the
+    pieces are the whole level).  Raises :exc:`ValueError` like
+    :meth:`~repro.amr.hierarchy.GridHierarchy.add_grid` on violation.
+    """
+    n = len(parent_idx)
+    if n == 0:
+        return
+    pieces = BoxArray(np.stack([piece_lo, piece_hi], axis=1))
+    refined = BoxArray.from_boxes(
+        [p.box.refine(ratio) for p in parents], ndim=pieces.ndim
+    )
+    nested = (
+        (refined.lo[parent_idx] <= piece_lo) & (refined.hi[parent_idx] >= piece_hi)
+    ).all(axis=1)
+    if not bool(nested.all()):
+        k = int(np.argmin(nested))
+        raise ValueError(
+            f"child box {pieces.box(k)} not nested in parent "
+            f"{parents[parent_idx[k]].gid}'s refined box "
+            f"{parents[parent_idx[k]].box.refine(ratio)}"
+        )
+    overlap = pieces.intersects_pairwise(pieces)
+    np.fill_diagonal(overlap, False)
+    if bool(overlap.any()):
+        a, b = map(int, np.argwhere(overlap)[0])
+        raise ValueError(
+            f"box {pieces.box(max(a, b))} overlaps box {pieces.box(min(a, b))} "
+            f"on level {fine_level}"
+        )
 
 
 def regrid_level(

@@ -116,6 +116,8 @@ def advect_donor_cell_unsplit(
         f_hi = [slice(None)] * ndim
         f_lo[axis] = slice(0, -1)
         f_hi[axis] = slice(1, None)
-        div = div + (flux[tuple(f_hi)] - flux[tuple(f_lo)])
+        # in-place accumulate: same additions in the same order, one fewer
+        # interior-sized temporary per axis
+        div += flux[tuple(f_hi)] - flux[tuple(f_lo)]
     gd.u[interior] = gd.interior - (dt / dx) * div
     return fluxes

@@ -17,6 +17,8 @@ from typing import Mapping
 
 import numpy as np
 
+from ..box import Box
+from ..boxarray import BoxArray
 from ..hierarchy import GridHierarchy
 from .state import GridData
 
@@ -76,17 +78,32 @@ def fill_ghosts(
     ratio = hierarchy.refinement_ratio
     grids = hierarchy.level_grids(level)
     level_dom = hierarchy.level_domain(level)
-    for grid in grids:
+    # Sibling-overlap discovery for the whole level in one batched kernel:
+    # ghosted outer box of every grid clipped against every interior.  The
+    # former per-grid Python sweep over all siblings was O(n^2) Box
+    # allocations; the copies below walk np.nonzero's row-major pair order,
+    # which is exactly the old (grid, other) nested-loop order.
+    n = len(grids)
+    if n > 1:
+        outer_ba = BoxArray.from_boxes([data[g.gid].outer for g in grids])
+        inner_ba = BoxArray.from_boxes([g.box for g in grids])
+        olo, ohi = outer_ba.intersection_pairwise(inner_ba)
+        nonempty = (ohi > olo).all(axis=2)
+        np.fill_diagonal(nonempty, False)
+        rows, cols = np.nonzero(nonempty)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+    for i, grid in enumerate(grids):
         gd = data[grid.gid]
         gd.invalidate_ghosts()
         # --- 1. siblings ------------------------------------------------ #
-        for other in grids:
-            if other.gid == grid.gid:
-                continue
-            overlap = gd.outer.intersection(other.box)
-            if overlap.is_empty:
-                continue
-            gd.view(overlap)[...] = data[other.gid].view(overlap)
+        start, stop = np.searchsorted(rows, (i, i + 1))
+        for k in range(start, stop):
+            j = int(cols[k])
+            overlap = Box._unchecked(
+                tuple(int(x) for x in olo[i, j]), tuple(int(x) for x in ohi[i, j])
+            )
+            gd.view(overlap)[...] = data[grids[j].gid].view(overlap)
             gd.mark_valid(overlap)
         # --- 2. parent -------------------------------------------------- #
         if level > 0 and grid.parent_gid in parent_data:

@@ -26,6 +26,7 @@ from typing import List, Mapping
 import numpy as np
 
 from ..box import Box
+from ..boxarray import BoxArray
 from ..hierarchy import GridHierarchy
 from .state import GridData
 
@@ -176,22 +177,44 @@ class FluxRegister:
         owned by any coarse grid (cannot happen in a well-formed hierarchy,
         but guarded).
         """
+        if not self.sides:
+            return
         child = self.hierarchy.grid(self.child_gid)
         fine_level_grids = self.hierarchy.level_grids(child.level)
-        for side in self.sides:
+        coarse_grids = self.hierarchy.level_grids(self.coarse_level)
+        ndim = self.footprint.ndim
+        # Batched overlap discovery: every side slab clipped against every
+        # coarsened fine footprint (covered mask) and every coarse grid
+        # (ownership) in two BoxArray kernels instead of per-pair Box calls.
+        outside_ba = BoxArray.from_boxes([s.outside for s in self.sides])
+        fine_ba = BoxArray.from_boxes(
+            [g.box for g in fine_level_grids], ndim
+        ).coarsen(self.ratio)
+        cov_lo, cov_hi = outside_ba.intersection_pairwise(fine_ba)
+        cov_ok = (cov_hi > cov_lo).all(axis=2)
+        coarse_ba = BoxArray.from_boxes([g.box for g in coarse_grids], ndim)
+        own_lo, own_hi = outside_ba.intersection_pairwise(coarse_ba)
+        own_ok = (own_hi > own_lo).all(axis=2)
+        for si, side in enumerate(self.sides):
             sign = -1.0 if side.high else 1.0
             # mask out outside-cells covered by other fine grids
             covered = np.zeros(side.outside.shape, dtype=bool)
-            for other in fine_level_grids:
-                overlap = side.outside.intersection(other.box.coarsen(self.ratio))
-                if not overlap.is_empty:
-                    covered[overlap.slices(origin=side.outside.lo)] = True
+            for j in np.nonzero(cov_ok[si])[0]:
+                overlap = Box._unchecked(
+                    tuple(int(x) for x in cov_lo[si, j]),
+                    tuple(int(x) for x in cov_hi[si, j]),
+                )
+                covered[overlap.slices(origin=side.outside.lo)] = True
             correction = sign * side.delta / dx_coarse
             # distribute the correction to whichever coarse grids own the cells
-            for coarse in self.hierarchy.level_grids(self.coarse_level):
-                overlap = side.outside.intersection(coarse.box)
-                if overlap.is_empty or coarse.gid not in coarse_data:
+            for j in np.nonzero(own_ok[si])[0]:
+                coarse = coarse_grids[j]
+                if coarse.gid not in coarse_data:
                     continue
+                overlap = Box._unchecked(
+                    tuple(int(x) for x in own_lo[si, j]),
+                    tuple(int(x) for x in own_hi[si, j]),
+                )
                 local = overlap.slices(origin=side.outside.lo)
                 mask = ~covered[local]
                 if not mask.any():

@@ -14,10 +14,10 @@ alpha and beta".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from ..obs import NULL_TRACER, Tracer
-from .comm import CommPhaseResult, Message, comm_phase_time
+from .comm import CommGeometry, CommPhaseResult, Message, MessageBatch, comm_phase_time
 from .events import (
     CommEvent,
     ComputeEvent,
@@ -79,7 +79,20 @@ class ClusterSimulator:
         self._pending_faults = (
             list(fault_schedule.boundaries()) if fault_schedule is not None else []
         )
+        #: routing tables reused across every comm phase of one fault epoch
+        #: (rebuilt whenever a fault boundary passes, in case an injected
+        #: fault ever rewires the topology)
+        self._comm_geometry: Optional[CommGeometry] = None
+        self._geometry_epoch = -1
         self._observe_faults()
+
+    def _geometry(self) -> CommGeometry:
+        """The current fault epoch's :class:`CommGeometry` (lazily built)."""
+        epoch = len(self._pending_faults)
+        if self._comm_geometry is None or self._geometry_epoch != epoch:
+            self._comm_geometry = CommGeometry(self.system)
+            self._geometry_epoch = epoch
+        return self._comm_geometry
 
     def _observe_faults(self) -> None:
         """Log a :class:`FaultEvent` for every boundary the clock passed.
@@ -142,7 +155,7 @@ class ClusterSimulator:
 
     def run_comm(
         self,
-        messages: Iterable[Message],
+        messages: Union[Iterable[Message], MessageBatch],
         level: int = 0,
         purpose: str = "ghost",
         count_as_balance: bool = False,
@@ -151,10 +164,15 @@ class ClusterSimulator:
 
         Link conditions are sampled at the current clock.  ``count_as_balance``
         attributes the elapsed time to :attr:`balance_overhead` (migration
-        traffic) on top of the regular comm accounting.
+        traffic) on top of the regular comm accounting.  ``messages`` may be
+        a :class:`~repro.distsys.comm.MessageBatch` (the runner's vectorized
+        hot path) or any iterable of :class:`Message`; either way the
+        per-epoch routing tables are reused across the whole phase instead
+        of rebuilt per pair.
         """
         with self.tracer.span("comm", level=level, purpose=purpose) as span:
-            result = comm_phase_time(self.system, messages, self.clock)
+            result = comm_phase_time(self.system, messages, self.clock,
+                                     geometry=self._geometry())
             self.clock += result.elapsed
             self.comm_time += result.elapsed
             self.local_comm_busy += result.local_time

@@ -9,7 +9,9 @@ model applies itself).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from ..amr.grid import Grid
 from ..amr.hierarchy import GridHierarchy
@@ -61,6 +63,20 @@ class GridAssignment:
     def group_of(self, gid: int) -> int:
         """Group id owning grid ``gid``."""
         return self.system.processor(self.pid_of(gid)).group_id
+
+    def pids_of(self, gids: Sequence[int]) -> np.ndarray:
+        """Owners of many grids as one int64 array (message batching).
+
+        KeyError if any grid is unassigned, like :meth:`pid_of`.
+        """
+        n = len(gids)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        try:
+            return np.fromiter(map(self._owner.__getitem__, gids),
+                               dtype=np.int64, count=n)
+        except KeyError as exc:
+            raise KeyError(f"grid {exc.args[0]} is not assigned") from None
 
     def is_assigned(self, gid: int) -> bool:
         return gid in self._owner

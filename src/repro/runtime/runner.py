@@ -13,6 +13,8 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..amr.box import Box
 from ..amr.hierarchy import GridHierarchy
 from ..amr.integrator import IntegratorHooks, SAMRIntegrator, SubStep
@@ -21,7 +23,7 @@ from ..amr.regrid import RegridParams, apply_cluster_boxes, plan_regrid
 from ..config import SchemeParams, SimParams
 from ..core.base import BalanceContext, DLBScheme
 from ..core.gain import WorkloadHistory
-from ..distsys.comm import Message, MessageKind
+from ..distsys.comm import MessageBatch, MessageKind
 from ..distsys.events import (
     EventLog,
     FaultEvent,
@@ -71,6 +73,25 @@ def _prod(xs: Sequence[int]) -> int:
     for x in xs:
         out *= x
     return out
+
+
+def _paired_batch(
+    src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray, kind: MessageKind
+) -> MessageBatch:
+    """Two-way exchange batch: ``(src->dst, dst->src)`` per pair, interleaved
+    in the order the former per-pair loop appended its ``Message`` objects
+    (message order feeds order-sensitive bundling in the cost model)."""
+    k = src.shape[0]
+    s = np.empty(2 * k, dtype=np.int64)
+    d = np.empty(2 * k, dtype=np.int64)
+    b = np.empty(2 * k, dtype=np.float64)
+    s[0::2] = src
+    s[1::2] = dst
+    d[0::2] = dst
+    d[1::2] = src
+    b[0::2] = nbytes
+    b[1::2] = nbytes
+    return MessageBatch.of_kind(s, d, b, kind)
 
 
 def root_blocks(domain: Box, blocks_per_axis: Sequence[int]) -> List[Box]:
@@ -220,6 +241,10 @@ class SAMRRunner(IntegratorHooks):
         #: per-level sibling-adjacency cache keyed by the hierarchy
         #: version at which it was computed
         self._sibling_cache: Dict[int, Tuple[int, List[Tuple[int, int, int]]]] = {}
+        #: per-level message-geometry caches (gid lists + volume arrays),
+        #: also keyed by the hierarchy version
+        self._ghost_cache: Dict[int, Tuple[int, Tuple[list, list, np.ndarray]]] = {}
+        self._pc_cache: Dict[int, Tuple[int, Tuple[list, list, np.ndarray]]] = {}
 
     def _rebuild_fine_level(self, level: int, time: float) -> List[Grid]:
         """Rebuild level ``level + 1``: plan from application flags, then
@@ -245,10 +270,15 @@ class SAMRRunner(IntegratorHooks):
             loads = self.assignment.level_loads(level)
             self.sim.run_compute(loads, level=level, seq=step.seq)
             self.history.record_solve(level, loads)
-            messages = self._ghost_messages(level)
-            messages.extend(self._parent_child_messages(level))
-            if messages:
-                self.sim.run_comm(messages, level=level, purpose="ghost")
+            batch = MessageBatch.concatenate(
+                [self._ghost_messages(level), self._parent_child_messages(level)]
+            )
+            if len(batch):
+                self.sim.run_comm(batch, level=level, purpose="ghost")
+            if self.metrics is not None:
+                self.metrics.counter("dlb.solver.level_updates").inc()
+                self.metrics.counter("dlb.solver.messages").inc(len(batch))
+                self.metrics.counter("comm.batch_bytes").inc(batch.total_bytes())
 
     def regrid(self, level: int, time: float) -> None:
         with self.tracer.span("regrid", level=level) as span:
@@ -339,38 +369,68 @@ class SAMRRunner(IntegratorHooks):
         self._sibling_cache[level] = (self.hierarchy.version, pairs)
         return pairs
 
-    def _ghost_messages(self, level: int) -> List[Message]:
-        """Sibling ghost-zone exchange for one solve at ``level``."""
+    def _ghost_arrays(self, level: int) -> Tuple[list, list, np.ndarray]:
+        """Sibling-pair geometry at ``level`` as (gids_a, gids_b, areas),
+        cached on the hierarchy version like :meth:`_sibling_pairs`."""
+        cached = self._ghost_cache.get(level)
+        if cached is not None and cached[0] == self.hierarchy.version:
+            return cached[1]
         pairs = self._sibling_pairs(level)
-        bpc = self.sim_params.bytes_per_cell
-        messages: List[Message] = []
-        for gid_a, gid_b, area in pairs:
-            pa = self.assignment.pid_of(gid_a)
-            pb = self.assignment.pid_of(gid_b)
-            if pa == pb:
-                continue
-            # `area` is the two-way exchange volume; split across directions
-            nbytes = area * bpc / 2.0
-            messages.append(Message(pa, pb, nbytes, MessageKind.SIBLING))
-            messages.append(Message(pb, pa, nbytes, MessageKind.SIBLING))
-        return messages
+        if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            arrays = (arr[:, 0].tolist(), arr[:, 1].tolist(), arr[:, 2])
+        else:
+            arrays = ([], [], np.empty(0, dtype=np.int64))
+        self._ghost_cache[level] = (self.hierarchy.version, arrays)
+        return arrays
 
-    def _parent_child_messages(self, level: int) -> List[Message]:
+    def _ghost_messages(self, level: int) -> MessageBatch:
+        """Sibling ghost-zone exchange for one solve at ``level``."""
+        gids_a, gids_b, area = self._ghost_arrays(level)
+        if not gids_a:
+            return MessageBatch.empty()
+        pa = self.assignment.pids_of(gids_a)
+        pb = self.assignment.pids_of(gids_b)
+        cross = pa != pb  # co-located pairs exchange in memory: no messages
+        if not cross.any():
+            return MessageBatch.empty()
+        # `area` is the two-way exchange volume; split across directions
+        half = area[cross] * self.sim_params.bytes_per_cell / 2.0
+        return _paired_batch(pa[cross], pb[cross], half, MessageKind.SIBLING)
+
+    def _pc_arrays(self, level: int) -> Tuple[list, list, np.ndarray]:
+        """Parent/child geometry at ``level``: (gids, parent_gids,
+        boundary-cell counts), cached on the hierarchy version."""
+        cached = self._pc_cache.get(level)
+        if cached is not None and cached[0] == self.hierarchy.version:
+            return cached[1]
+        grids = self.hierarchy.level_grids(level)
+        arrays = (
+            [g.gid for g in grids],
+            [g.parent_gid for g in grids],
+            np.fromiter((g.boundary_cells() for g in grids),
+                        dtype=np.int64, count=len(grids)),
+        )
+        self._pc_cache[level] = (self.hierarchy.version, arrays)
+        return arrays
+
+    def _parent_child_messages(self, level: int) -> MessageBatch:
         """Boundary prolongation + restriction between ``level`` and its
         parent level, for one solve at ``level``."""
         if level == 0:
-            return []
+            return MessageBatch.empty()
+        gids, parent_gids, bcells = self._pc_arrays(level)
+        if not gids:
+            return MessageBatch.empty()
+        child = self.assignment.pids_of(gids)
+        parent = self.assignment.pids_of(parent_gids)
+        cross = child != parent
+        if not cross.any():
+            return MessageBatch.empty()
         bpc = self.sim_params.bytes_per_cell * self.sim_params.parent_child_factor
-        messages: List[Message] = []
-        for grid in self.hierarchy.level_grids(level):
-            child_pid = self.assignment.pid_of(grid.gid)
-            parent_pid = self.assignment.pid_of(grid.parent_gid)
-            if child_pid == parent_pid:
-                continue
-            nbytes = grid.boundary_cells() * bpc
-            messages.append(Message(parent_pid, child_pid, nbytes, MessageKind.PARENT_CHILD))
-            messages.append(Message(child_pid, parent_pid, nbytes, MessageKind.PARENT_CHILD))
-        return messages
+        nbytes = bcells[cross] * bpc
+        return _paired_batch(parent[cross], child[cross], nbytes,
+                             MessageKind.PARENT_CHILD)
 
     # ------------------------------------------------------------------ #
     # driving

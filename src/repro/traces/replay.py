@@ -27,19 +27,21 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from ..amr.grid import Grid
 from ..amr.hierarchy import GridHierarchy
 from ..amr.integrator import SubStep
 from ..amr.regrid import RegridParams, apply_cluster_boxes
 from ..config import SchemeParams, SimParams
 from ..core.base import DLBScheme
-from ..distsys.comm import Message, MessageKind
+from ..distsys.comm import MessageBatch, MessageKind
 from ..distsys.events import EventLog
 from ..distsys.system import DistributedSystem
 from ..faults.schedule import FaultSchedule
 from ..metrics.timing import RunResult
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer, get_default_metrics
-from ..runtime.runner import SAMRRunner
+from ..runtime.runner import SAMRRunner, _paired_batch
 from .schema import Trace, TraceReplayError, decode_box, read_trace
 
 __all__ = ["TraceReplayRunner", "replay_trace", "load_trace_source",
@@ -133,7 +135,15 @@ class TraceReplayRunner(SAMRRunner):
             rec = self._records[self._cursor]
             self._cursor += 1
             if rec["op"] == "manifest":
-                self._manifests[rec["l"]] = (rec["v"], rec["sib"], rec["pc"])
+                # unpack once into gid lists + volume arrays so every solve
+                # at this hierarchy version batches without re-parsing
+                sib = np.asarray(rec["sib"], dtype=np.int64).reshape(-1, 3)
+                pc = np.asarray(rec["pc"], dtype=np.int64).reshape(-1, 3)
+                self._manifests[rec["l"]] = (
+                    rec["v"],
+                    (sib[:, 0].tolist(), sib[:, 1].tolist(), sib[:, 2]),
+                    (pc[:, 0].tolist(), pc[:, 1].tolist(), pc[:, 2]),
+                )
                 continue
             break
         if rec["op"] != op:
@@ -199,43 +209,41 @@ class TraceReplayRunner(SAMRRunner):
 
     # -- manifest fast path -------------------------------------------------- #
 
-    def _ghost_messages(self, level: int) -> List[Message]:
+    def _ghost_messages(self, level: int) -> MessageBatch:
         manifest = self._manifests.get(level)
         if manifest is None or manifest[0] != self.hierarchy.version:
             if manifest is not None:
                 self.manifest_fallbacks += 1
             return super()._ghost_messages(level)
-        bpc = self.sim_params.bytes_per_cell
-        messages: List[Message] = []
-        for gid_a, gid_b, area in manifest[1]:
-            pa = self.assignment.pid_of(gid_a)
-            pb = self.assignment.pid_of(gid_b)
-            if pa == pb:
-                continue
-            nbytes = area * bpc / 2.0
-            messages.append(Message(pa, pb, nbytes, MessageKind.SIBLING))
-            messages.append(Message(pb, pa, nbytes, MessageKind.SIBLING))
-        return messages
+        gids_a, gids_b, area = manifest[1]
+        if not gids_a:
+            return MessageBatch.empty()
+        pa = self.assignment.pids_of(gids_a)
+        pb = self.assignment.pids_of(gids_b)
+        cross = pa != pb
+        if not cross.any():
+            return MessageBatch.empty()
+        half = area[cross] * self.sim_params.bytes_per_cell / 2.0
+        return _paired_batch(pa[cross], pb[cross], half, MessageKind.SIBLING)
 
-    def _parent_child_messages(self, level: int) -> List[Message]:
+    def _parent_child_messages(self, level: int) -> MessageBatch:
         if level == 0:
-            return []
+            return MessageBatch.empty()
         manifest = self._manifests.get(level)
         if manifest is None or manifest[0] != self.hierarchy.version:
             return super()._parent_child_messages(level)
+        gids, parent_gids, bcells = manifest[2]
+        if not gids:
+            return MessageBatch.empty()
+        child = self.assignment.pids_of(gids)
+        parent = self.assignment.pids_of(parent_gids)
+        cross = child != parent
+        if not cross.any():
+            return MessageBatch.empty()
         bpc = self.sim_params.bytes_per_cell * self.sim_params.parent_child_factor
-        messages: List[Message] = []
-        for gid, parent_gid, bcells in manifest[2]:
-            child_pid = self.assignment.pid_of(gid)
-            parent_pid = self.assignment.pid_of(parent_gid)
-            if child_pid == parent_pid:
-                continue
-            nbytes = bcells * bpc
-            messages.append(Message(parent_pid, child_pid, nbytes,
-                                    MessageKind.PARENT_CHILD))
-            messages.append(Message(child_pid, parent_pid, nbytes,
-                                    MessageKind.PARENT_CHILD))
-        return messages
+        nbytes = bcells[cross] * bpc
+        return _paired_batch(parent[cross], child[cross], nbytes,
+                             MessageKind.PARENT_CHILD)
 
     # -- driving ------------------------------------------------------------ #
 
