@@ -81,7 +81,7 @@ def quick_run(
     uses the WAN system.
     """
     from .amr.applications import AMR64, BlastWave, ShockPool3D
-    from .distsys import ConstantTraffic, lan_system, wan_system
+    from .distsys import ConstantTraffic, build_system, lan_spec, wan_spec
 
     apps = {
         "shockpool3d": ShockPool3D,
@@ -92,10 +92,11 @@ def quick_run(
         raise ValueError(f"unknown app {app_name!r}; pick one of {sorted(apps)}")
     app = apps[app_name](domain_cells=domain_cells, max_levels=max_levels)
     traffic = ConstantTraffic(0.3)
-    system = (
-        lan_system(procs_per_group, traffic)
+    spec = (
+        lan_spec(procs_per_group)
         if app_name == "amr64"
-        else wan_system(procs_per_group, traffic)
+        else wan_spec(procs_per_group)
     )
+    system = build_system(spec, traffic=traffic)
     runner = SAMRRunner(app, system, make_scheme(scheme_name))
     return runner.run(steps)

@@ -226,6 +226,56 @@ class BoxArray:
         ).all(axis=2)
         return inside | other.is_empty()[None, :]
 
+    def first_overlap_pair(self) -> Optional[Tuple[int, int]]:
+        """Indices ``(i, j)``, ``i < j``, of one pair of boxes sharing at
+        least a cell (:meth:`Box.intersects`), or ``None`` when all boxes
+        are pairwise disjoint.
+
+        Sweep along axis 0: with boxes sorted by ``lo[:, 0]``, box ``i``
+        can only overlap followers whose axis-0 interval opens before
+        ``hi[i, 0]``, so a K-deep tiling costs ``O(N * K)`` vectorized
+        comparisons instead of the ``O(N^2)`` Python double loop.  Candidate
+        pairs are materialised in bounded batches, so a degenerate input
+        (every box sharing one axis-0 slab) stays within fixed memory.
+        """
+        mask = ~self.is_empty()  # empty boxes never intersect anything
+        idx = np.nonzero(mask)[0]
+        m = len(idx)
+        if m < 2:
+            return None
+        order = idx[np.argsort(self.lo[idx, 0], kind="stable")]
+        lo_s = self.lo[order]
+        hi_s = self.hi[order]
+        starts = np.arange(1, m)
+        ends = np.maximum(
+            np.searchsorted(lo_s[:, 0], hi_s[:-1, 0], side="left"), starts
+        )
+        counts = ends - starts
+        batch_cap = 4_000_000
+        row = 0
+        while row < m - 1:
+            stop = row + 1
+            total = int(counts[row])
+            while stop < m - 1 and total + counts[stop] <= batch_cap:
+                total += int(counts[stop])
+                stop += 1
+            if total:
+                c = counts[row:stop]
+                ia = np.repeat(np.arange(row, stop), c)
+                off = np.arange(total) - np.repeat(np.cumsum(c) - c, c)
+                ib = ia + 1 + off
+                hit = (
+                    np.maximum(lo_s[ia], lo_s[ib])
+                    < np.minimum(hi_s[ia], hi_s[ib])
+                ).all(axis=1)
+                where = np.nonzero(hit)[0]
+                if len(where):
+                    k = int(where[0])
+                    i0, j0 = int(order[ia[k]]), int(order[ib[k]])
+                    return (i0, j0) if i0 < j0 else (j0, i0)
+            row = stop
+        return None
+
     def shared_face_area_pairs(
         self, ia: np.ndarray, ib: np.ndarray, ghost: int = 1
     ) -> np.ndarray:

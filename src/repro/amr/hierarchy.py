@@ -67,14 +67,19 @@ class GridHierarchy:
         """
         if self._levels[0]:
             raise ValueError("root grids already exist")
+        boxes = list(boxes)
         total = 0
-        for i, box in enumerate(boxes):
-            if not self.domain.contains(box):
+        if boxes:
+            arr = BoxArray.from_boxes(boxes, ndim=self.domain.ndim)
+            inside = BoxArray.from_box(self.domain).contains_pairwise(arr)[0]
+            if not inside.all():
+                box = boxes[int(np.argmin(inside))]
                 raise ValueError(f"root box {box} is not inside domain {self.domain}")
-            for other in boxes[:i]:
-                if box.intersects(other):
-                    raise ValueError(f"root boxes overlap: {box} and {other}")
-            total += box.ncells
+            pair = arr.first_overlap_pair()
+            if pair is not None:
+                i, j = pair
+                raise ValueError(f"root boxes overlap: {boxes[j]} and {boxes[i]}")
+            total = int(arr.ncells().sum())
         if total != self.domain.ncells:
             raise ValueError(
                 f"root boxes cover {total} cells but the domain has {self.domain.ncells}"
@@ -241,7 +246,26 @@ class GridHierarchy:
             return []
         boxes = BoxArray.from_boxes([g.box for g in grids])
         gids = np.fromiter((g.gid for g in grids), dtype=np.int64, count=n)
-        ia, ib = np.triu_indices(n, k=1)
+        # Sweep-and-prune along axis 0 instead of the full upper triangle:
+        # sort by lo, and for each box only pair it with later boxes whose
+        # lo starts before its hi + 2*ghost.  A pair separated further than
+        # that along the axis has exchange volume exactly 0 (the same
+        # per-axis screen shared_face_area_pairs applies), so the surviving
+        # pair set -- and with it the result -- is unchanged.
+        lo0 = boxes.corners[:, 0, 0]
+        hi0 = boxes.corners[:, 1, 0]
+        order = np.argsort(lo0, kind="stable")
+        slo = lo0[order]
+        upper = np.searchsorted(slo, hi0[order] + 2 * ghost, side="left")
+        counts = np.maximum(upper - np.arange(1, n + 1), 0)
+        cum = np.cumsum(counts)
+        total = int(cum[-1]) if n else 0
+        if total == 0:
+            return []
+        idx = np.arange(total)
+        ia_pos = np.searchsorted(cum, idx, side="right")
+        ib_pos = idx - (cum[ia_pos] - counts[ia_pos]) + ia_pos + 1
+        ia, ib = order[ia_pos], order[ib_pos]
         area = boxes.shared_face_area_pairs(ia, ib, ghost)
         keep = area > 0
         ia, ib = ia[keep], ib[keep]

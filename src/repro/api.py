@@ -23,6 +23,18 @@ from __future__ import annotations
 from .config import ExecParams, FaultParams, SchemeParams, SimParams, TraceParams
 from .harness.experiment import ExperimentConfig, sequential_config
 
+# -- system construction ---------------------------------------------------
+from .distsys import (
+    LINK_PRESETS,
+    GroupSpec,
+    SystemSpec,
+    build_system,
+    lan_spec,
+    multi_site_spec,
+    parallel_spec,
+    wan_spec,
+)
+
 # -- schemes: policy protocols + registry ----------------------------------
 from .core.policies import (
     DecisionPolicy,
@@ -133,6 +145,15 @@ __all__ = [
     "ExecParams",
     "TraceParams",
     "sequential_config",
+    # system construction
+    "SystemSpec",
+    "GroupSpec",
+    "LINK_PRESETS",
+    "build_system",
+    "parallel_spec",
+    "lan_spec",
+    "wan_spec",
+    "multi_site_spec",
     # schemes: policy protocols + registry
     "WeightPolicy",
     "DecisionPolicy",

@@ -104,6 +104,10 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                    help="workload (default: shockpool3d)")
     p.add_argument("--network", default="wan", choices=["wan", "lan", "parallel"],
                    help="system shape (default: wan)")
+    p.add_argument("--system", default=None, metavar="SPEC",
+                   help="declarative SystemSpec: inline JSON or a path to a "
+                        "JSON file; overrides --network/--procs "
+                        "(see EXPERIMENTS.md)")
     p.add_argument("--procs", type=int, default=2, metavar="N",
                    help="processors per group, the paper's N+N (default: 2)")
     p.add_argument("--steps", type=int, default=4,
@@ -224,6 +228,22 @@ def _fault_from(args: argparse.Namespace) -> Optional[FaultParams]:
     )
 
 
+def _system_from(args: argparse.Namespace):
+    """Parse ``--system``: inline JSON or a path to a JSON file."""
+    import json
+    from pathlib import Path
+
+    from .distsys import SystemSpec
+
+    text = getattr(args, "system", None)
+    if text is None:
+        return None
+    raw = text.strip()
+    if not raw.startswith("{"):
+        raw = Path(text).read_text()
+    return SystemSpec.from_dict(json.loads(raw))
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         app_name=args.app,
@@ -236,6 +256,7 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         traffic_level=args.traffic_level,
         gamma=args.gamma,
         fault=_fault_from(args),
+        system=_system_from(args),
     )
 
 

@@ -129,6 +129,15 @@ def plan_global_redistribution(
         return plan
 
     centroids = _group_centroids(ctx)
+    # planning never mutates the assignment, so the level-0 loads -- and
+    # with them each receiver group's least-loaded pid -- are the same for
+    # every query in this plan: compute loads once, memoize pids per group,
+    # and bucket the donor grids in a single pass
+    level0_loads = ctx.assignment.level_loads(0)
+    dst_memo: Dict[int, int] = {}
+    grids_by_group: Dict[int, List[Grid]] = {}
+    for grid in ctx.hierarchy.level_grids(0):
+        grids_by_group.setdefault(group_of[grid.gid], []).append(grid)
     planned: set = set()  # gids already claimed by a move or carve
     recv_idx = 0
     deficit = -surplus[receivers[0]]
@@ -137,7 +146,8 @@ def plan_global_redistribution(
         if recv_idx >= len(receivers):
             break
         recv = receivers[recv_idx]
-        donor_grids = _donor_grids_sorted(ctx, donor, centroids.get(recv))
+        donor_grids = _donor_grids_sorted(
+            grids_by_group.get(donor, []), centroids.get(recv))
         gi = 0
         while need_out > 1e-12 and gi < len(donor_grids):
             if deficit <= 1e-12:
@@ -146,7 +156,8 @@ def plan_global_redistribution(
                     break
                 recv = receivers[recv_idx]
                 deficit = -surplus[recv]
-                donor_grids = _donor_grids_sorted(ctx, donor, centroids.get(recv))
+                donor_grids = _donor_grids_sorted(
+                    grids_by_group.get(donor, []), centroids.get(recv))
                 gi = 0
                 continue
             grid = donor_grids[gi]
@@ -159,7 +170,10 @@ def plan_global_redistribution(
                 continue
             amount = min(need_out, deficit)
             src = ctx.assignment.pid_of(grid.gid)
-            dst = _least_loaded_pid(ctx, recv, time)
+            dst = dst_memo.get(recv)
+            if dst is None:
+                dst = _least_loaded_pid(ctx, recv, time, level0_loads)
+                dst_memo[recv] = dst
             if load <= amount * (1.0 + WHOLE_GRID_SLACK):
                 plan.moves.append((grid.gid, src, dst))
                 plan.migrate_cells += grid.ncells
@@ -249,14 +263,13 @@ def _group_centroids(ctx: BalanceContext) -> Dict[int, Tuple[float, ...]]:
 
 
 def _donor_grids_sorted(
-    ctx: BalanceContext, donor_group: int, toward: Optional[Tuple[float, ...]]
+    grids: List[Grid], toward: Optional[Tuple[float, ...]]
 ) -> List[Grid]:
-    """Donor's level-0 grids, nearest-to-receiver first (boundary shift)."""
-    grids = [
-        g
-        for g in ctx.hierarchy.level_grids(0)
-        if ctx.assignment.group_of(g.gid) == donor_group
-    ]
+    """Donor's level-0 grids, nearest-to-receiver first (boundary shift).
+
+    ``grids`` is the donor group's pre-bucketed level-0 grid list (in
+    hierarchy order, as the planner collects it once per plan).
+    """
     if toward is None:
         return sorted(grids, key=lambda g: g.gid)
 
@@ -268,16 +281,21 @@ def _donor_grids_sorted(
 
 
 def _least_loaded_pid(
-    ctx: BalanceContext, group_id: int, time: Optional[float] = None
+    ctx: BalanceContext,
+    group_id: int,
+    time: Optional[float] = None,
+    loads: Optional[Dict[int, float]] = None,
 ) -> int:
     """Receiver processor: least capacity-normalised level-0 load in group.
 
     With ``time``, normalisation uses the effective (fault-adjusted) weight
     at that instant, steering migrated grids toward the group's healthiest
-    processors.
+    processors.  ``loads`` lets the planner pass the level-0 loads it
+    already holds instead of recomputing them per query.
     """
     group = ctx.system.groups[group_id]
-    loads = ctx.assignment.level_loads(0)
+    if loads is None:
+        loads = ctx.assignment.level_loads(0)
 
     def eff_weight(pid: int) -> float:
         p = ctx.system.processor(pid)

@@ -50,7 +50,8 @@ from ..partition.proportional import (
     processor_targets,
     proportional_shares,
 )
-from .base import BalanceContext, execute_moves
+from ..partition.sfc import CURVES, contiguous_segments, grids_curve_order
+from .base import BalanceContext, Move, execute_moves
 from .cost import CostModel
 from .decision import Decision, decide
 from .gain import estimate_gain
@@ -78,10 +79,12 @@ __all__ = [
     "GainCostDecision",
     "FlatPartition",
     "ContiguousGroupPartition",
+    "SFCPartition",
     "GlobalGreedyLocal",
     "GroupLocal",
     "StickyLocal",
     "DiffusionLocal",
+    "SFCLocal",
     "WEIGHT_POLICIES",
     "DECISION_POLICIES",
     "GLOBAL_POLICIES",
@@ -533,6 +536,144 @@ class ContiguousGroupPartition:
         return delta
 
 
+class SFCPartition:
+    """Eq. 5's capacity-proportional split along a space-filling curve.
+
+    Identical cut rule to :class:`ContiguousGroupPartition` -- contiguous
+    capacity-proportional segments with the midpoint straddle rule -- but
+    the ordering is a Morton or Hilbert curve over grid centroids instead
+    of an axis-0 sort, so every group (and every processor within it) owns
+    a subdomain that is compact in *all* dimensions.  This is the
+    extreme-scale formulation (Schornbaum & Ruede): no central data
+    structure beyond the sorted key array, and the global phase is a re-cut
+    of the same curve.
+
+    The gain/cost invocation gate is untouched: planning only proposes the
+    cross-group moves implied by the new cut, and
+    :class:`~repro.core.composed.ComposedScheme` runs the plan through the
+    decision policy (Eqs. 1-4) before :meth:`execute` is invoked.
+
+    Parameters
+    ----------
+    curve:
+        ``"morton"`` or ``"hilbert"``.
+    """
+
+    def __init__(self, curve: str = "morton") -> None:
+        if curve not in CURVES:
+            raise ValueError(
+                f"unknown curve {curve!r}; known: {', '.join(CURVES)}"
+            )
+        self.curve = curve
+
+    def initial_distribution(
+        self, ctx: BalanceContext, weights: WeightPolicy
+    ) -> None:
+        """Curve-cut across groups, then curve-cut per level within each.
+
+        Mirrors :meth:`ContiguousGroupPartition.initial_distribution`:
+        root grids are cut by effective (all-levels) load, descendants
+        inherit the root's group, and each level is cut per group into
+        weight-proportional processor segments -- curve-contiguous instead
+        of LPT, so neighbouring grids land on neighbouring processors.
+        """
+        eff = effective_level0_loads(ctx)
+        grids = ctx.hierarchy.level_grids(0)
+        total = sum(eff.values())
+        if total <= 0:
+            total = sum(g.workload for g in grids)
+            eff = {g.gid: g.workload for g in grids}
+        targets = group_targets(ctx.system, total, time=weights.resolve_time(0.0))
+        gorder = sorted(targets)
+        order = grids_curve_order(grids, self.curve)
+        seg = contiguous_segments(
+            [eff[grids[i].gid] for i in order], [targets[g] for g in gorder]
+        )
+        root_group = {
+            grids[i].gid: gorder[seg[k]] for k, i in enumerate(order)
+        }
+        # descendants inherit the root's group
+        grid_group: Dict[int, int] = {}
+        for root_gid, group_id in root_group.items():
+            for g in ctx.hierarchy.subtree(root_gid):
+                grid_group[g.gid] = group_id
+        w0 = weights.processor_weights(ctx.system, 0.0)
+        for level in range(ctx.hierarchy.max_levels):
+            level_grids = ctx.hierarchy.level_grids(level)
+            if not level_grids:
+                continue
+            lorder = grids_curve_order(level_grids, self.curve)
+            by_group: Dict[int, List[Any]] = {}
+            for i in lorder:
+                g = level_grids[i]
+                by_group.setdefault(grid_group[g.gid], []).append(g)
+            for group_id, ggrids in by_group.items():
+                group = ctx.system.groups[group_id]
+                gtotal = sum(g.workload for g in ggrids)
+                shares = proportional_shares(
+                    gtotal, [w0[p.pid] for p in group.processors]
+                )
+                pseg = contiguous_segments(
+                    [g.workload for g in ggrids], shares
+                )
+                for g, si in zip(ggrids, pseg):
+                    ctx.assignment.assign(g.gid, group.processors[si].pid)
+
+    def active(self, ctx: BalanceContext) -> bool:
+        return ctx.system.ngroups >= 2
+
+    def plan(self, ctx: BalanceContext, time: Optional[float]) -> GlobalPlan:
+        """Re-cut the level-0 curve; moves are the grids that change group.
+
+        Grids staying in their group keep their processor (within-group
+        placement is the local policy's job); incoming grids are steered to
+        the processor whose segment of the destination group's new cut they
+        fall into, using availability-adjusted weights at ``time``.
+        """
+        plan = GlobalPlan()
+        eff = effective_level0_loads(ctx)
+        total = sum(eff.values())
+        if total <= 0:
+            return plan
+        grids = ctx.hierarchy.level_grids(0)
+        targets = group_targets(ctx.system, total, time=time)
+        gorder = sorted(targets)
+        order = grids_curve_order(grids, self.curve)
+        seg = contiguous_segments(
+            [eff[grids[i].gid] for i in order], [targets[g] for g in gorder]
+        )
+        by_group: Dict[int, List[Any]] = {}
+        for k, i in enumerate(order):
+            by_group.setdefault(gorder[seg[k]], []).append(grids[i])
+        for group_id, ggrids in by_group.items():
+            group = ctx.system.groups[group_id]
+            gtotal = sum(eff[g.gid] for g in ggrids)
+            shares = proportional_shares(
+                gtotal,
+                [
+                    p.weight if time is None else p.weight * p.availability(time)
+                    for p in group.processors
+                ],
+            )
+            pseg = contiguous_segments([eff[g.gid] for g in ggrids], shares)
+            for g, si in zip(ggrids, pseg):
+                src = ctx.assignment.pid_of(g.gid)
+                if ctx.system.processor(src).group_id == group_id:
+                    continue
+                plan.moves.append((g.gid, src, group.processors[si].pid))
+                plan.migrate_cells += g.ncells
+                plan.effective_moved += eff[g.gid]
+        return plan
+
+    def execute(
+        self, ctx: BalanceContext, plan: GlobalPlan, predicted_cost: float
+    ) -> float:
+        _moved, _cells, delta = execute_global_redistribution(
+            ctx, plan, predicted_cost=predicted_cost
+        )
+        return delta
+
+
 # --------------------------------------------------------------------- #
 # local balance policies
 # --------------------------------------------------------------------- #
@@ -771,6 +912,76 @@ class DiffusionLocal:
         return {pid: norm[pid] * weights[pid] for pid in loads}
 
 
+class SFCLocal:
+    """Within-group curve re-cut at every balancing opportunity.
+
+    New grids inherit the parent's processor (the curve cut at the next
+    balance point is what spreads them -- the extreme-scale pattern, where
+    placement *is* the next cut rather than a separate greedy step);
+    rebalancing re-cuts each group's curve-ordered grids into
+    weight-proportional contiguous processor segments and moves only the
+    grids whose owner changed.  Grids never cross a group boundary outside
+    the global phase, like :class:`GroupLocal`.
+
+    Parameters
+    ----------
+    curve:
+        ``"morton"`` or ``"hilbert"``.
+    """
+
+    def __init__(self, curve: str = "morton") -> None:
+        if curve not in CURVES:
+            raise ValueError(
+                f"unknown curve {curve!r}; known: {', '.join(CURVES)}"
+            )
+        self.curve = curve
+
+    def place_new_grids(
+        self,
+        ctx: BalanceContext,
+        new_gids: Sequence[int],
+        weights: WeightPolicy,
+    ) -> None:
+        for gid in new_gids:
+            parent_gid = ctx.hierarchy.grid(gid).parent_gid
+            ctx.assignment.assign(gid, ctx.assignment.pid_of(parent_gid))
+
+    def local_balance(
+        self,
+        ctx: BalanceContext,
+        level: int,
+        time: float,
+        weights: WeightPolicy,
+    ) -> None:
+        grids = ctx.hierarchy.level_grids(level)
+        if not grids:
+            return
+        w = weights.processor_weights(ctx.system, time)
+        order = grids_curve_order(grids, self.curve)
+        by_group: Dict[int, List[Any]] = {}
+        for i in order:
+            g = grids[i]
+            group_id = ctx.system.processor(
+                ctx.assignment.pid_of(g.gid)
+            ).group_id
+            by_group.setdefault(group_id, []).append(g)
+        for group_id, ggrids in by_group.items():
+            group = ctx.system.groups[group_id]
+            gtotal = sum(g.workload for g in ggrids)
+            shares = proportional_shares(
+                gtotal, [w[p.pid] for p in group.processors]
+            )
+            seg = contiguous_segments([g.workload for g in ggrids], shares)
+            moves: List[Move] = []
+            for g, si in zip(ggrids, seg):
+                src = ctx.assignment.pid_of(g.gid)
+                dst = group.processors[si].pid
+                if src != dst:
+                    moves.append((g.gid, src, dst))
+            if moves:
+                execute_moves(ctx, moves, level=level, purpose="local-balance")
+
+
 # --------------------------------------------------------------------- #
 # component registries + builder
 # --------------------------------------------------------------------- #
@@ -789,6 +1000,7 @@ DECISION_POLICIES: Dict[str, Type[Any]] = {
 GLOBAL_POLICIES: Dict[str, Type[Any]] = {
     "flat": FlatPartition,
     "proportional": ContiguousGroupPartition,
+    "sfc": SFCPartition,
 }
 
 LOCAL_POLICIES: Dict[str, Type[Any]] = {
@@ -796,6 +1008,7 @@ LOCAL_POLICIES: Dict[str, Type[Any]] = {
     "group": GroupLocal,
     "sticky": StickyLocal,
     "diffusion": DiffusionLocal,
+    "sfc": SFCLocal,
 }
 
 #: axis name -> component table, for introspection and extension

@@ -139,6 +139,7 @@ def _ensure_builtins() -> None:
         diffusion_dlb,
         distributed_dlb,
         parallel_dlb,
+        sfc_dlb,
         static_dlb,
     )
 

@@ -1,0 +1,55 @@
+"""Space-filling-curve DLB: the extreme-scale variants of the paper's scheme.
+
+Same two-phase structure and gain/cost gate as distributed DLB, but both
+phases partition by cutting a space-filling curve over grid centroids into
+contiguous capacity-proportional segments (Schornbaum & Ruede's
+extreme-scale formulation of exactly Eq. 5's split; see
+``repro.partition.sfc``):
+
+* **global phase** -- re-cut the level-0 curve across groups; only grids
+  whose group changes move, and only when ``Gain > gamma * Cost``;
+* **local phase** -- at each balancing opportunity, re-cut each group's
+  curve-ordered grids into weight-proportional processor segments; new
+  grids wait on the parent's processor until the next cut.
+
+Two registered compositions differ only in the curve: ``sfc:morton``
+(Z-order, cheapest keys) and ``sfc:hilbert`` (Skilling transform, strictly
+face-adjacent locality).
+"""
+
+from __future__ import annotations
+
+from .composed import ComposedScheme
+from .policies import build_policies
+from .registry import SchemeSpec, register_scheme
+
+__all__ = ["SFC_MORTON_SPEC", "SFC_HILBERT_SPEC", "make_sfc_scheme"]
+
+SFC_MORTON_SPEC = SchemeSpec(
+    name="sfc:morton",
+    display="SFC Morton DLB",
+    weights="measured",
+    decision="gain-cost",
+    global_partition="sfc",
+    local="sfc",
+    options={"curve": "morton", "initial_delta": 0.05, "use_forecast": False},
+)
+
+SFC_HILBERT_SPEC = SchemeSpec(
+    name="sfc:hilbert",
+    display="SFC Hilbert DLB",
+    weights="measured",
+    decision="gain-cost",
+    global_partition="sfc",
+    local="sfc",
+    options={"curve": "hilbert", "initial_delta": 0.05, "use_forecast": False},
+)
+
+
+def make_sfc_scheme(spec: SchemeSpec) -> ComposedScheme:
+    """Factory shared by both SFC specs (and curve-varied custom ones)."""
+    return ComposedScheme(spec, **build_policies(spec))
+
+
+register_scheme(SFC_MORTON_SPEC, make_sfc_scheme)
+register_scheme(SFC_HILBERT_SPEC, make_sfc_scheme)

@@ -23,6 +23,15 @@ from .group import Group
 from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect
 from .processor import Processor
 from .simulator import PROBE_LARGE_BYTES, PROBE_SMALL_BYTES, ClusterSimulator
+from .spec import (
+    LINK_PRESETS,
+    GroupSpec,
+    SystemSpec,
+    lan_spec,
+    multi_site_spec,
+    parallel_spec,
+    wan_spec,
+)
 from .system import (
     DistributedSystem,
     build_system,
@@ -65,6 +74,13 @@ __all__ = [
     "PROBE_LARGE_BYTES",
     "PROBE_SMALL_BYTES",
     "ClusterSimulator",
+    "LINK_PRESETS",
+    "GroupSpec",
+    "SystemSpec",
+    "parallel_spec",
+    "lan_spec",
+    "wan_spec",
+    "multi_site_spec",
     "DistributedSystem",
     "build_system",
     "lan_system",

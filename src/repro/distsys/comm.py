@@ -168,23 +168,28 @@ class CommGeometry:
     def __init__(self, system: DistributedSystem) -> None:
         self.nprocs = system.nprocs
         self.ngroups = system.ngroups
-        self.group_of_pid = np.fromiter(
-            (system.processor(p).group_id for p in range(self.nprocs)),
-            dtype=np.int64, count=self.nprocs,
-        )
+        self.group_of_pid = system.pid_groups
+        # O(G + #links): the intra diagonal plus each registered inter-group
+        # pair, instead of materializing the full G x G pairwise sweep.
+        # Which integer index a link gets is arbitrary -- only link identity
+        # reaches the phase-time accounting -- so enumeration order is free.
         self.links: List[Link] = []
         self.link_index = np.empty((self.ngroups, self.ngroups), dtype=np.int64)
         by_id: Dict[int, int] = {}
-        for ga in range(self.ngroups):
-            for gb in range(self.ngroups):
-                link = (system.groups[ga].intra_link if ga == gb
-                        else system.inter_link(ga, gb))
-                idx = by_id.get(id(link))
-                if idx is None:
-                    idx = len(self.links)
-                    by_id[id(link)] = idx
-                    self.links.append(link)
-                self.link_index[ga, gb] = idx
+
+        def _index_of(link: Link) -> int:
+            idx = by_id.get(id(link))
+            if idx is None:
+                idx = len(self.links)
+                by_id[id(link)] = idx
+                self.links.append(link)
+            return idx
+
+        for g in range(self.ngroups):
+            self.link_index[g, g] = _index_of(system.groups[g].intra_link)
+        for pair, link in system.inter_links.items():
+            ga, gb = sorted(pair)
+            self.link_index[ga, gb] = self.link_index[gb, ga] = _index_of(link)
 
     def link_between(self, src: int, dst: int) -> Link:
         ga = self.group_of_pid[src]
@@ -352,23 +357,31 @@ def _batch_phase_time(
     pair_link = geo.link_index[gsrc[first], gdst[first]]
     pair_remote = remote[first]
 
-    # serialize bundles per link; links run concurrently
-    per_link: Dict[int, List] = {}
-    for j in order:
-        li = int(pair_link[j])
-        entry = per_link.get(li)
-        if entry is None:
-            per_link[li] = [bool(pair_remote[j]), float(sums[j]), 1]
-        else:
-            # the scalar loop re-stamps the link's class with each pair
-            entry[0] = bool(pair_remote[j])
-            entry[1] += float(sums[j])
-            entry[2] += 1
+    # serialize bundles per link; links run concurrently.  Grouped without
+    # a per-pair Python loop: with the pairs arranged in first-appearance
+    # order, np.add.at accumulates each link's bytes in exactly the order
+    # the dict-based loop added them (element order), the re-stamped
+    # remote flag is the link's *last* pair's flag, and folding busy times
+    # in link first-appearance order preserves the accumulation sequence.
+    ordered_link = pair_link[order]
+    ordered_sums = sums[order]
+    ordered_remote = pair_remote[order]
+    uniq, lfirst, linv = np.unique(
+        ordered_link, return_index=True, return_inverse=True
+    )
+    link_sums = np.zeros(uniq.shape[0], dtype=np.float64)
+    np.add.at(link_sums, linv, ordered_sums)
+    link_npairs = np.bincount(linv)
+    last_pos = np.zeros(uniq.shape[0], dtype=np.int64)
+    np.maximum.at(last_pos, linv, np.arange(ordered_link.shape[0]))
+    link_remote = ordered_remote[last_pos]
 
     elapsed = 0.0
-    for li, (is_remote, total, npairs) in per_link.items():
-        busy = geo.links[li].phase_time(npairs, total, time)
-        if is_remote:
+    for k in np.argsort(lfirst, kind="stable"):
+        busy = geo.links[int(uniq[k])].phase_time(
+            int(link_npairs[k]), float(link_sums[k]), time
+        )
+        if link_remote[k]:
             result.remote_time += busy
         else:
             result.local_time += busy

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from ..faults.load import NoLoad
 from .network import Link, origin2000_interconnect
 from .processor import Processor
 
@@ -56,6 +57,18 @@ class Group:
                 f"group {self.name!r} is not homogeneous: weights {sorted(weights)} "
                 "(the paper defines a group as processors of the same performance)"
             )
+        # Structural caches.  Groups (like systems) are immutable after
+        # construction -- fault schedules build *new* systems rather than
+        # mutating -- so these never need invalidation.  Only external load
+        # is time-dependent: processors carrying a real load model are
+        # remembered so the common all-idle case short-circuits exactly
+        # (NoLoad availability is exactly 1.0, and w * 1.0 == w bitwise).
+        self._pids = [p.pid for p in self.processors]
+        self._capacity = sum(p.weight for p in self.processors)
+        self._has_load = any(
+            not isinstance(p.load, NoLoad) for p in self.processors
+        )
+        self._capacity_memo: tuple = (None, 0.0)
 
     # ------------------------------------------------------------------ #
 
@@ -71,7 +84,7 @@ class Group:
     @property
     def capacity(self) -> float:
         """Aggregate nominal compute capacity ``n_g * p_g`` (paper 4.4)."""
-        return sum(p.weight for p in self.processors)
+        return self._capacity
 
     def capacity_at(self, time: float) -> float:
         """Effective capacity at ``time``: nominal weights scaled by each
@@ -82,11 +95,18 @@ class Group:
         until it rejoins.  This is what the global phase's re-measured
         weights see.
         """
-        return sum(p.weight * p.availability(time) for p in self.processors)
+        if not self._has_load:
+            return self._capacity
+        memo_time, memo_value = self._capacity_memo
+        if memo_time == time:
+            return memo_value
+        value = sum(p.weight * p.availability(time) for p in self.processors)
+        self._capacity_memo = (time, value)
+        return value
 
     @property
     def pids(self) -> List[int]:
-        return [p.pid for p in self.processors]
+        return self._pids
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

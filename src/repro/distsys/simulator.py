@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 from ..obs import NULL_TRACER, Tracer
 from .comm import CommGeometry, CommPhaseResult, Message, MessageBatch, comm_phase_time
 from .events import (
@@ -124,14 +126,28 @@ class ClusterSimulator:
         """
         with self.tracer.span("compute", level=level, seq=seq) as span:
             start = self.clock
-            elapsed = 0.0
-            total = 0.0
-            speed_sum = 0.0
-            for pid, work in loads.items():
-                proc = self.system.processor(pid)
-                total += work
-                speed_sum += proc.effective_speed(start)
-                elapsed = max(elapsed, proc.execution_time(work, start))
+            if loads:
+                # Array path, bit-for-bit with the former per-pid loop:
+                # cumsum accumulates left-to-right exactly like `+=` over
+                # the dict's iteration order, effective speed is the same
+                # product (speed * availability, availability exactly 1.0
+                # for load-free processors), and max over the array equals
+                # the running max.
+                pids = np.fromiter(loads.keys(), dtype=np.int64, count=len(loads))
+                works = np.fromiter(
+                    loads.values(), dtype=np.float64, count=len(loads)
+                )
+                avail = np.ones(self.system.nprocs, dtype=np.float64)
+                for pid in self.system.loaded_pids:
+                    avail[pid] = self.system.processor(pid).availability(start)
+                eff = self.system.speed_by_pid[pids] * avail[pids]
+                total = float(works.cumsum()[-1])
+                speed_sum = float(eff.cumsum()[-1])
+                elapsed = float((works / eff).max())
+            else:
+                elapsed = 0.0
+                total = 0.0
+                speed_sum = 0.0
             self.clock += elapsed
             self.compute_time += elapsed
             self.log.record(

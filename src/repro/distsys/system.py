@@ -12,11 +12,23 @@ Factory helpers build the paper's three testbed shapes:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+import warnings
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 
+import numpy as np
+
+from ..faults.load import NoLoad
 from .group import Group
-from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect
+from .network import Link, origin2000_interconnect
 from .processor import Processor
+from .spec import (
+    SystemSpec,
+    _resolve_link,
+    lan_spec,
+    multi_site_spec,
+    parallel_spec,
+    wan_spec,
+)
 from .traffic import TrafficModel
 
 __all__ = [
@@ -27,6 +39,9 @@ __all__ = [
     "wan_system",
     "multi_site_system",
 ]
+
+#: resolver fallback when neither the spec nor a group pins a speed
+DEFAULT_BASE_SPEED = 1.0e6
 
 
 class DistributedSystem:
@@ -64,6 +79,30 @@ class DistributedSystem:
         self._procs: Dict[int, Processor] = {
             p.pid: p for g in self.groups for p in g.processors
         }
+        # Structural caches.  Systems are immutable after construction
+        # (fault schedules *replace* the system rather than mutating it),
+        # so pid-indexed arrays and the processor list are built once here
+        # and never invalidated; only quantities sampling external load at
+        # a time instant remain per-call.
+        nprocs = len(self._procs)
+        self._processors: List[Processor] = [
+            self._procs[pid] for pid in range(nprocs)
+        ]
+        #: group id of every processor, indexed by pid (group-indexed
+        #: replacements for pairwise ``is_remote``/``link_between`` scans)
+        self.pid_groups: np.ndarray = np.fromiter(
+            (p.group_id for p in self._processors), dtype=np.int64, count=nprocs
+        )
+        #: nominal speed (``base_speed * weight``) of every processor by pid
+        self.speed_by_pid: np.ndarray = np.fromiter(
+            (p.speed for p in self._processors), dtype=np.float64, count=nprocs
+        )
+        #: pids whose processor carries a real external-load model -- the
+        #: only ones whose availability can differ from exactly 1.0
+        self.loaded_pids: List[int] = [
+            p.pid for p in self._processors if not isinstance(p.load, NoLoad)
+        ]
+        self._describe: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -79,8 +118,8 @@ class DistributedSystem:
 
     @property
     def processors(self) -> List[Processor]:
-        """All processors ordered by pid."""
-        return [self._procs[pid] for pid in range(self.nprocs)]
+        """All processors ordered by pid (cached; treat as read-only)."""
+        return self._processors
 
     def processor(self, pid: int) -> Processor:
         return self._procs[pid]
@@ -141,7 +180,9 @@ class DistributedSystem:
         return self.groups[group_id].capacity_at(time) / self.total_capacity_at(time)
 
     def describe(self) -> str:
-        """Multi-line human-readable description for reports."""
+        """Multi-line human-readable description for reports (cached)."""
+        if self._describe is not None:
+            return self._describe
         lines = [f"DistributedSystem: {self.ngroups} group(s), {self.nprocs} processors"]
         for g in self.groups:
             lines.append(
@@ -154,7 +195,8 @@ class DistributedSystem:
                 f"  {self.groups[a].name} <-> {self.groups[b].name}: {link.name} "
                 f"(alpha={link.latency:.2e}s, bw={link.bandwidth / 1e6:.1f} MB/s)"
             )
-        return "\n".join(lines)
+        self._describe = "\n".join(lines)
+        return self._describe
 
 
 # --------------------------------------------------------------------- #
@@ -162,21 +204,74 @@ class DistributedSystem:
 # --------------------------------------------------------------------- #
 
 
+def _system_from_spec(
+    spec: SystemSpec, traffic: Optional[TrafficModel] = None
+) -> DistributedSystem:
+    """Resolve a :class:`~repro.distsys.spec.SystemSpec` into a live system.
+
+    ``traffic`` is the runtime background-traffic model shared by every
+    inter-group link (specs stay plain data; the experiment config pins the
+    weather separately so paired runs see the same conditions).
+    """
+    default_speed = (
+        spec.base_speed if spec.base_speed is not None else DEFAULT_BASE_SPEED
+    )
+    groups: List[Group] = []
+    pid = 0
+    for gi, gs in enumerate(spec.groups):
+        name = spec.group_name(gi)
+        speed = gs.base_speed if gs.base_speed is not None else default_speed
+        procs = [
+            Processor(pid + k, gi, weight=gs.weight, base_speed=speed)
+            for k in range(gs.nprocs)
+        ]
+        pid += gs.nprocs
+        groups.append(
+            Group(gi, name, procs,
+                  intra_link=_resolve_link(gs.intra_link, name=f"intra-{name}"))
+        )
+    links: Dict[FrozenSet[int], Link] = {}
+    n = spec.ngroups
+    if n > 1:
+        if spec.independent_inter_links:
+            base = spec.inter_link_name
+            for i in range(n):
+                for j in range(i + 1, n):
+                    links[frozenset((i, j))] = _resolve_link(
+                        spec.inter_link,
+                        name=f"{base}-{i}-{j}" if base else None,
+                        traffic=traffic,
+                    )
+        else:
+            shared = _resolve_link(spec.inter_link, name=spec.inter_link_name,
+                                   traffic=traffic)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    links[frozenset((i, j))] = shared
+    return DistributedSystem(groups, links)
+
+
 def build_system(
-    group_sizes: Sequence[int],
+    group_sizes: Union[SystemSpec, Sequence[int]],
     inter_link: Optional[Link] = None,
     group_weights: Optional[Sequence[float]] = None,
     group_names: Optional[Sequence[str]] = None,
     intra_links: Optional[Sequence[Link]] = None,
-    base_speed: float = 1.0e6,
+    base_speed: float = DEFAULT_BASE_SPEED,
     group_base_speeds: Optional[Sequence[float]] = None,
+    traffic: Optional[TrafficModel] = None,
 ) -> DistributedSystem:
-    """Build a system of ``len(group_sizes)`` groups with dense pids.
+    """Build a system from a :class:`~repro.distsys.spec.SystemSpec` (the
+    declarative path) or from ``len(group_sizes)`` explicit groups.
 
-    All group pairs share the single ``inter_link`` instance (the paper's
-    testbeds have exactly two groups, so one inter-group link suffices; pass
-    a prebuilt ``inter_links`` mapping through :class:`DistributedSystem`
-    directly for richer topologies).
+    Spec path: ``build_system(spec, traffic=...)`` -- every other keyword is
+    rejected (the spec already pins them).  ``traffic`` is the runtime
+    background-traffic model applied to the inter-group link(s).
+
+    Legacy path: all group pairs share the single ``inter_link`` instance
+    (the paper's testbeds have exactly two groups, so one inter-group link
+    suffices; pass a prebuilt ``inter_links`` mapping through
+    :class:`DistributedSystem` directly for richer topologies).
 
     ``group_weights`` and ``group_base_speeds`` are two ways of expressing
     processor heterogeneity: weights are *visible* to the DLB schemes (the
@@ -184,6 +279,20 @@ def build_system(
     ablations use base speeds to model a federation whose scheme is blind
     to the hardware difference.
     """
+    if isinstance(group_sizes, SystemSpec):
+        if any(arg is not None for arg in (
+                inter_link, group_weights, group_names, intra_links,
+                group_base_speeds)) or base_speed != DEFAULT_BASE_SPEED:
+            raise TypeError(
+                "build_system(spec, ...) takes only the traffic keyword; "
+                "the spec pins everything else"
+            )
+        return _system_from_spec(group_sizes, traffic)
+    if traffic is not None:
+        raise TypeError(
+            "traffic is only valid with a SystemSpec; the legacy path "
+            "attaches traffic to the inter_link instance directly"
+        )
     n = len(group_sizes)
     weights = list(group_weights) if group_weights is not None else [1.0] * n
     speeds = (
@@ -218,72 +327,64 @@ def build_system(
     return DistributedSystem(groups, links)
 
 
-def parallel_system(nprocs: int, base_speed: float = 1.0e6) -> DistributedSystem:
-    """One dedicated parallel machine (the Section 3 baseline)."""
-    return build_system([nprocs], group_names=["ANL"], base_speed=base_speed)
+# --------------------------------------------------------------------- #
+# legacy constructors (DeprecationWarning shims over the spec helpers)
+# --------------------------------------------------------------------- #
+
+
+def _warn_legacy(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use build_system({new}(...)) "
+        "(see repro.distsys.spec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def parallel_system(nprocs: int, base_speed: float = DEFAULT_BASE_SPEED
+                    ) -> DistributedSystem:
+    """Deprecated: use ``build_system(parallel_spec(nprocs, base_speed))``."""
+    _warn_legacy("parallel_system", "parallel_spec")
+    return _system_from_spec(parallel_spec(nprocs, base_speed=base_speed))
 
 
 def lan_system(
     nprocs_per_group: int,
     traffic: Optional[TrafficModel] = None,
-    base_speed: float = 1.0e6,
+    base_speed: float = DEFAULT_BASE_SPEED,
 ) -> DistributedSystem:
-    """Two machines at one site over shared Gigabit Ethernet (AMR64)."""
-    return build_system(
-        [nprocs_per_group, nprocs_per_group],
-        inter_link=gigabit_lan(traffic),
-        group_names=["ANL-1", "ANL-2"],
-        base_speed=base_speed,
-    )
+    """Deprecated: use ``build_system(lan_spec(n, base_speed), traffic=...)``."""
+    _warn_legacy("lan_system", "lan_spec")
+    return _system_from_spec(lan_spec(nprocs_per_group, base_speed=base_speed),
+                             traffic)
 
 
 def wan_system(
     nprocs_per_group: int,
     traffic: Optional[TrafficModel] = None,
-    base_speed: float = 1.0e6,
+    base_speed: float = DEFAULT_BASE_SPEED,
 ) -> DistributedSystem:
-    """ANL + NCSA over the shared MREN ATM OC-3 WAN (ShockPool3D)."""
-    return build_system(
-        [nprocs_per_group, nprocs_per_group],
-        inter_link=mren_wan(traffic),
-        group_names=["ANL", "NCSA"],
-        base_speed=base_speed,
-    )
+    """Deprecated: use ``build_system(wan_spec(n, base_speed), traffic=...)``."""
+    _warn_legacy("wan_system", "wan_spec")
+    return _system_from_spec(wan_spec(nprocs_per_group, base_speed=base_speed),
+                             traffic)
 
 
 def multi_site_system(
     group_sizes: Sequence[int],
     traffic: Optional[TrafficModel] = None,
-    base_speed: float = 1.0e6,
+    base_speed: float = DEFAULT_BASE_SPEED,
     group_weights: Optional[Sequence[float]] = None,
 ) -> DistributedSystem:
-    """A grid of ``len(group_sizes)`` sites, each pair joined by its own WAN.
+    """Deprecated: use ``build_system(multi_site_spec(...), traffic=...)``.
 
     The paper's experiments use two sites, but nothing in the scheme is
     binary: the gain model (Eq. 4) and the capacity-proportional global
-    phase (Section 4.4) are defined over any number of groups.  Each site
-    pair gets an *independent* :func:`mren_wan` link instance sharing one
-    traffic model, so congestion is correlated (one backbone) while
-    per-pair transfers still serialize separately.
+    phase (Section 4.4) are defined over any number of groups.
     """
-    n = len(group_sizes)
-    if n < 2:
-        raise ValueError("multi_site_system needs at least two sites")
-    names = [f"site{i}" for i in range(n)]
-    weights = list(group_weights) if group_weights is not None else [1.0] * n
-    groups: List[Group] = []
-    pid = 0
-    for gi, size in enumerate(group_sizes):
-        procs = [
-            Processor(pid + k, gi, weight=weights[gi], base_speed=base_speed)
-            for k in range(size)
-        ]
-        pid += size
-        groups.append(
-            Group(gi, names[gi], procs, intra_link=origin2000_interconnect(f"intra-{names[gi]}"))
-        )
-    links: Dict[FrozenSet[int], Link] = {}
-    for i in range(n):
-        for j in range(i + 1, n):
-            links[frozenset((i, j))] = mren_wan(traffic, name=f"wan-{i}-{j}")
-    return DistributedSystem(groups, links)
+    _warn_legacy("multi_site_system", "multi_site_spec")
+    return _system_from_spec(
+        multi_site_spec(group_sizes, base_speed=base_speed,
+                        group_weights=group_weights),
+        traffic,
+    )

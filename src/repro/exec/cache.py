@@ -57,7 +57,9 @@ __all__ = [
 #: v2: keys hash the scheme's canonical SchemeSpec instead of its bare name
 #: v3: configs gained the trace field (replayed runs share the key space,
 #: keyed by trace content hash)
-CACHE_SCHEMA_VERSION = 3
+#: v4: configs gained the declarative system field (a SystemSpec hashes
+#: into the key like any nested dataclass)
+CACHE_SCHEMA_VERSION = 4
 
 #: the code-version salt: results are only reused within the same package
 #: version and cache schema

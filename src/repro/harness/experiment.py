@@ -23,10 +23,12 @@ from ..distsys import (
     DiurnalTraffic,
     DistributedSystem,
     NoTraffic,
+    SystemSpec,
     TrafficModel,
-    lan_system,
-    parallel_system,
-    wan_system,
+    build_system,
+    lan_spec,
+    parallel_spec,
+    wan_spec,
 )
 from ..faults import (
     BurstyLoad,
@@ -77,8 +79,16 @@ class ExperimentConfig:
     #: trace through the cluster simulator instead of running the AMR
     #: solver (see ``docs/TRACES.md``) -- ``app_name`` is then ignored
     trace: Optional[TraceParams] = None
+    #: optional declarative system shape; when set, ``network`` and
+    #: ``procs_per_group`` are ignored by :func:`make_system` and the spec
+    #: is resolved instead (its ``base_speed=None`` groups inherit
+    #: ``base_speed``).  Plain dicts (wire/CLI form) are coerced.
+    system: Optional[SystemSpec] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.system, dict):
+            object.__setattr__(self, "system",
+                               SystemSpec.from_dict(self.system))
         if self.app_name not in ("shockpool3d", "amr64", "blastwave"):
             raise ValueError(f"unknown app {self.app_name!r}")
         if self.network not in ("wan", "lan", "parallel"):
@@ -129,15 +139,25 @@ def make_app(cfg: ExperimentConfig) -> AMRApplication:
 def make_system(cfg: ExperimentConfig) -> DistributedSystem:
     """System instance from the config.
 
-    ``"parallel"`` builds one dedicated machine with ``2n`` processors (the
-    Section 3 reference); ``"wan"``/``"lan"`` build the two-group federations.
+    An explicit ``cfg.system`` spec wins; otherwise ``"parallel"`` builds
+    one dedicated machine with ``2n`` processors (the Section 3 reference)
+    and ``"wan"``/``"lan"`` build the two-group federations.  Specs (and
+    groups) without a pinned ``base_speed`` inherit ``cfg.base_speed``.
     """
+    if cfg.system is not None:
+        spec = cfg.system
+        if spec.base_speed is None:
+            spec = replace(spec, base_speed=cfg.base_speed)
+        traffic = make_traffic(cfg) if spec.ngroups > 1 else None
+        return build_system(spec, traffic=traffic)
     if cfg.network == "parallel":
-        return parallel_system(2 * cfg.procs_per_group, base_speed=cfg.base_speed)
+        return build_system(
+            parallel_spec(2 * cfg.procs_per_group, base_speed=cfg.base_speed))
     traffic = make_traffic(cfg)
-    if cfg.network == "wan":
-        return wan_system(cfg.procs_per_group, traffic, base_speed=cfg.base_speed)
-    return lan_system(cfg.procs_per_group, traffic, base_speed=cfg.base_speed)
+    spec = (wan_spec(cfg.procs_per_group, base_speed=cfg.base_speed)
+            if cfg.network == "wan"
+            else lan_spec(cfg.procs_per_group, base_speed=cfg.base_speed))
+    return build_system(spec, traffic=traffic)
 
 
 def make_faults(cfg: ExperimentConfig) -> Optional[FaultSchedule]:
@@ -166,6 +186,10 @@ def make_faults(cfg: ExperimentConfig) -> Optional[FaultSchedule]:
         bursty CPU weather on processor 0 -- the everything-goes-wrong case.
     """
     fp = cfg.fault
+    if fp is None and cfg.system is not None:
+        # the spec's fault-schedule hook: a system that declares its own
+        # weather applies it unless the config pins a scenario itself
+        fp = cfg.system.fault
     if fp is None or fp.scenario == "none":
         return None
     if fp.scenario == "slowdown":
@@ -344,7 +368,7 @@ def sequential_config(cfg: ExperimentConfig) -> ExperimentConfig:
     """
     return replace(cfg, network="parallel", procs_per_group=1,
                    traffic_kind="none", traffic_level=0.0, traffic_seed=0,
-                   fault=None)
+                   fault=None, system=None)
 
 
 def execute_scheme(
@@ -378,14 +402,14 @@ def run_sequential(
     cfg = resolve_trace_config(_apply_seed(config, seed))
     if cfg.trace is not None:
         return _run_replay(cfg, "parallel",
-                           parallel_system(1, base_speed=cfg.base_speed),
+                           build_system(parallel_spec(1, base_speed=cfg.base_speed)),
                            tracer, seq=True)
     seq_cfg = replace(cfg, network="parallel")
     metrics = MetricsRegistry() if tracer is not None else None
     start_count = tracer.record_count if tracer is not None else 0
     runner = SAMRRunner(
         make_app(seq_cfg),
-        parallel_system(1, base_speed=cfg.base_speed),
+        build_system(parallel_spec(1, base_speed=cfg.base_speed)),
         make_scheme("parallel"),
         sim_params=cfg.sim_params,
         scheme_params=cfg.effective_scheme_params(),

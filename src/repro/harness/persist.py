@@ -190,6 +190,7 @@ def _config_to_dict(cfg) -> Dict:
         "sim_params": asdict(cfg.sim_params),
         "fault": asdict(cfg.fault) if cfg.fault is not None else None,
         "trace": asdict(cfg.trace) if cfg.trace is not None else None,
+        "system": cfg.system.to_dict() if cfg.system is not None else None,
     }
 
 
@@ -210,6 +211,12 @@ def _config_from_dict(data: Dict):
         fields["trace"] = TraceParams(**fields["trace"])
     else:
         fields.pop("trace", None)  # absent in pre-trace files
+    if fields.get("system") is not None:
+        from ..distsys import SystemSpec
+
+        fields["system"] = SystemSpec.from_dict(fields["system"])
+    else:
+        fields.pop("system", None)  # absent in pre-spec files
     return ExperimentConfig(**fields)
 
 

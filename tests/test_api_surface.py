@@ -30,6 +30,15 @@ EXPECTED_API = [
     "ExecParams",
     "TraceParams",
     "sequential_config",
+    # system construction
+    "SystemSpec",
+    "GroupSpec",
+    "LINK_PRESETS",
+    "build_system",
+    "parallel_spec",
+    "lan_spec",
+    "wan_spec",
+    "multi_site_spec",
     # schemes: policy protocols + registry
     "WeightPolicy",
     "DecisionPolicy",

@@ -205,6 +205,45 @@ def test_shared_face_area_pairs_matches_pairwise(pairs, ghost):
         assert int(vals[k]) == a.shared_face_area(b, ghost)
 
 
+def test_first_overlap_pair_matches_scalar(pairs):
+    """The axis-0 sweep finds an overlap exactly when the O(N^2) scalar
+    double loop does, and the reported pair really intersects."""
+    boxes, _ = pairs
+    ba = BoxArray.from_boxes(boxes)
+    scalar_any = any(
+        boxes[i].intersects(boxes[j])
+        for i in range(len(boxes)) for j in range(i + 1, len(boxes))
+    )
+    pair = ba.first_overlap_pair()
+    assert (pair is not None) == scalar_any
+    if pair is not None:
+        i, j = pair
+        assert i < j
+        assert boxes[i].intersects(boxes[j])
+
+
+def test_first_overlap_pair_disjoint_tiling():
+    tiles = [Box((i * 4, j * 4), (i * 4 + 4, j * 4 + 4))
+             for i in range(8) for j in range(8)]
+    assert BoxArray.from_boxes(tiles).first_overlap_pair() is None
+
+
+def test_first_overlap_pair_ignores_empty_boxes():
+    boxes = [Box((0, 0), (4, 4)), Box((2, 2), (2, 6)), Box((2, 2), (2, 2))]
+    assert BoxArray.from_boxes(boxes).first_overlap_pair() is None
+    boxes.append(Box((3, 3), (6, 6)))
+    assert BoxArray.from_boxes(boxes).first_overlap_pair() == (0, 3)
+
+
+def test_first_overlap_pair_shared_slab():
+    # every box shares one axis-0 interval: the sweep window is the whole
+    # suffix, exercising the batched candidate path
+    cols = [Box((0, k), (8, k + 1)) for k in range(64)]
+    assert BoxArray.from_boxes(cols).first_overlap_pair() is None
+    cols[40] = Box((0, 39), (8, 41))
+    assert BoxArray.from_boxes(cols).first_overlap_pair() == (39, 40)
+
+
 def test_roundtrip_and_box_accessor():
     boxes = [Box((0, 0), (2, 3)), Box((5, 5), (5, 9)), Box((-4, 1), (0, 2))]
     ba = BoxArray.from_boxes(boxes)
