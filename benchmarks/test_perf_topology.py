@@ -1,0 +1,154 @@
+"""Topology overhead study: routed graphs next to the two-level fast path.
+
+The topology layer adds route tables and multi-hop contention to the
+communication model.  This bench pins two costs:
+
+* **route-table precomputation** -- Dijkstra over every group pair at
+  topology construction -- stays milliseconds even for a 32-group torus
+  (it runs once per system, and once per fault epoch);
+* **replay wall-clock on a routed topology** stays within the
+  ``BENCH_scale.json`` envelope: the same 4096-processor hotspot replay
+  that gates the two-level systems, run over an explicit 4x8 torus under
+  the topology-aware ``diffusion:dimex`` scheme.
+
+The numbers land in ``BENCH_topology.json`` at the repo root.
+
+Environment overrides (the CI ``topology-smoke`` job shrinks the sweep):
+
+* ``REPRO_TOPOLOGY_PROCS``  total processor count (default 4096)
+* ``REPRO_TOPOLOGY_DIMS``   comma torus extents (default ``4,8`` = 32 groups)
+* ``REPRO_TOPOLOGY_SCHEMES`` comma list of scheme names
+* ``REPRO_TOPOLOGY_STEPS``  coarse steps to replay (default 2)
+* ``REPRO_TOPOLOGY_DOMAIN`` root cells per axis (default 32)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from repro.core.registry import make_scheme
+from repro.distsys import GroupSpec, SystemSpec, build_system, torus
+from repro.distsys.topology import resolve_topology
+from repro.harness.report import format_table
+from repro.traces import TraceReplayRunner, make_synth_workload
+from repro.traces.synth import generate_trace
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_topology.json"
+
+DEFAULT_PROCS = 4096
+DEFAULT_DIMS = (4, 8)
+DEFAULT_SCHEMES = ("diffusion:dimex", "diffusion:sos", "sfc:hilbert")
+
+#: same hard ceiling as benchmarks/test_perf_scale.py: the routed replay
+#: must stay inside the two-level envelope, not define a laxer one
+MAX_SECONDS = 60.0
+#: route tables are precomputed once per topology; a 32-group torus has
+#: 496 pairs and must resolve in well under a second
+MAX_ROUTE_SECONDS = 1.0
+
+
+def _env_tuple(name, default, cast=int):
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(cast(x.strip()) for x in raw.split(",") if x.strip())
+
+
+def _scenario():
+    nprocs = int(os.environ.get("REPRO_TOPOLOGY_PROCS", str(DEFAULT_PROCS)))
+    dims = _env_tuple("REPRO_TOPOLOGY_DIMS", DEFAULT_DIMS)
+    schemes = _env_tuple("REPRO_TOPOLOGY_SCHEMES", DEFAULT_SCHEMES, cast=str)
+    steps = int(os.environ.get("REPRO_TOPOLOGY_STEPS", "2"))
+    domain = int(os.environ.get("REPRO_TOPOLOGY_DOMAIN", "32"))
+
+    topo_spec = torus(dims)
+    ngroups = len(topo_spec.groups)
+    per_group = max(1, nprocs // ngroups)
+
+    t0 = time.perf_counter()
+    topo = resolve_topology(topo_spec)
+    route_s = time.perf_counter() - t0
+    npairs = ngroups * (ngroups - 1) // 2
+
+    spec = SystemSpec(
+        groups=tuple(GroupSpec(name=n, nprocs=per_group)
+                     for n in topo_spec.groups),
+        topology=topo_spec,
+    )
+    system = build_system(spec)
+
+    workload = make_synth_workload("hotspot", domain_cells=domain,
+                                   max_levels=3, ndim=3)
+    t0 = time.perf_counter()
+    trace = generate_trace(workload, steps=steps, nprocs=per_group * ngroups)
+    gen_s = time.perf_counter() - t0
+
+    points = []
+    for scheme in schemes:
+        t0 = time.perf_counter()
+        runner = TraceReplayRunner(trace, system, make_scheme(scheme))
+        result = runner.run(steps)
+        sim_s = time.perf_counter() - t0
+        points.append({
+            "nprocs": per_group * ngroups,
+            "ngroups": ngroups,
+            "dims": list(dims),
+            "scheme": scheme,
+            "simulator_seconds": sim_s,
+            "trace_generation_seconds": gen_s,
+            "simulated_total_time": result.total_time,
+            "simulated_compute_time": result.compute_time,
+            "simulated_comm_time": result.comm_time,
+        })
+    return {
+        "benchmark": "topology-overhead",
+        "workload": {"name": "hotspot", "domain_cells": domain,
+                     "max_levels": 3, "ndim": 3, "steps": steps},
+        "cpu_count": os.cpu_count(),
+        "torus_dims": list(dims),
+        "ngroups": ngroups,
+        "route_pairs": npairs,
+        "route_table_seconds": route_s,
+        "route_table": {f"{a}-{b}": list(names)
+                        for (a, b), names in topo.route_table().items()
+                        if a < b},
+        "schemes": list(schemes),
+        "points": points,
+    }
+
+
+def test_routed_replay_stays_in_scale_envelope(once, benchmark):
+    record = once(benchmark, _scenario)
+
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        (f"{p['nprocs']} ({p['ngroups']}g torus)", p["scheme"],
+         p["simulator_seconds"], p["simulated_total_time"])
+        for p in record["points"]
+    ]
+    print()
+    print(format_table(
+        ["procs", "scheme", "simulator [s]", "simulated makespan [s]"], rows,
+        title=f"torus replay, route table {record['route_pairs']} pairs in "
+              f"{record['route_table_seconds'] * 1e3:.1f} ms "
+              f"-> {BENCH_PATH.name}",
+    ))
+
+    assert record["route_table_seconds"] <= MAX_ROUTE_SECONDS, (
+        f"route-table precomputation took {record['route_table_seconds']:.2f}s "
+        f"for {record['ngroups']} groups (> {MAX_ROUTE_SECONDS}s): Dijkstra "
+        "is no longer a startup-only cost"
+    )
+    for p in record["points"]:
+        assert p["simulator_seconds"] <= MAX_SECONDS, (
+            f"{p['scheme']} on the {p['ngroups']}-group torus took "
+            f"{p['simulator_seconds']:.1f}s (> {MAX_SECONDS}s): the routed "
+            "path fell out of the BENCH_scale.json envelope"
+        )
+        assert math.isfinite(p["simulated_total_time"])
+        assert p["simulated_total_time"] > 0

@@ -26,12 +26,22 @@ from .harness.experiment import ExperimentConfig, sequential_config
 # -- system construction ---------------------------------------------------
 from .distsys import (
     LINK_PRESETS,
+    EdgeSpec,
     GroupSpec,
+    NetworkTopology,
+    Route,
     SystemSpec,
+    TopologySpec,
     build_system,
+    fat_tree,
+    from_edges,
     lan_spec,
     multi_site_spec,
     parallel_spec,
+    ring,
+    star,
+    torus,
+    wan_mesh,
     wan_spec,
 )
 
@@ -42,6 +52,7 @@ from .core.policies import (
     LocalBalancePolicy,
     WeightPolicy,
 )
+from .core.diffusion_dlb import DIFFUSION_DIMEX_SPEC, DIFFUSION_SOS_SPEC
 from .core.registry import (
     SchemeSpec,
     available_schemes,
@@ -154,6 +165,19 @@ __all__ = [
     "lan_spec",
     "wan_spec",
     "multi_site_spec",
+    # network topologies
+    "NetworkTopology",
+    "TopologySpec",
+    "EdgeSpec",
+    "Route",
+    "star",
+    "ring",
+    "torus",
+    "fat_tree",
+    "wan_mesh",
+    "from_edges",
+    "DIFFUSION_SOS_SPEC",
+    "DIFFUSION_DIMEX_SPEC",
     # schemes: policy protocols + registry
     "WeightPolicy",
     "DecisionPolicy",

@@ -366,6 +366,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which figure to regenerate")
     _add_exec_args(p_fig)
 
+    p_topo = sub.add_parser(
+        "topology",
+        help="describe a system's network topology (text or Graphviz DOT)",
+    )
+    p_topo.add_argument("--system", default=None, metavar="SPEC",
+                        help="SystemSpec as inline JSON or a path to a JSON "
+                             "file (default: the paper's two-site WAN testbed)")
+    p_topo.add_argument("--dot", action="store_true",
+                        help="emit Graphviz DOT instead of the text description")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the content-addressed result cache"
     )
@@ -690,6 +700,44 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topology(args: argparse.Namespace) -> int:
+    import json
+
+    from .distsys import SystemSpec, build_system, wan_spec
+
+    try:
+        spec = _system_from(args)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}")
+        return 2
+    if spec is None:
+        spec = wan_spec(2)
+    # round-trip validation: the spec must survive its own JSON form
+    restored = SystemSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    if restored != spec:
+        print("error: SystemSpec does not round-trip through its JSON form")
+        return 2
+    system = build_system(spec)
+    topo = system.topology
+    # determinism check: an independent rebuild must yield the same routes
+    if build_system(spec).topology.route_table() != topo.route_table():
+        print("error: route table differs across rebuilds (nondeterministic)")
+        return 2
+    if args.dot:
+        print(topo.to_dot())
+        return 0
+    print(system.describe())
+    if topo.derived:
+        print()
+        print("topology (derived from two-level links):")
+        print(topo.describe())
+    print()
+    npairs = sum(1 for (a, b) in topo.route_table() if a < b)
+    print(f"validated: spec round-trips, route table deterministic "
+          f"({npairs} group pair(s))")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -906,6 +954,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "record": _cmd_record,
         "replay": _cmd_replay,
         "figure": _cmd_figure,
+        "topology": _cmd_topology,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
@@ -914,9 +963,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     handler = handlers[args.command]
     # commands that never execute runs in-process skip the executor setup:
-    # cache only touches disk, and the serve family talks to the daemon
-    # (or IS the daemon, which owns its own worker pool)
-    if args.command in ("cache", "serve", "submit", "jobs", "cancel"):
+    # cache only touches disk, topology just describes a spec, and the
+    # serve family talks to the daemon (or IS the daemon, which owns its
+    # own worker pool)
+    if args.command in ("topology", "cache", "serve", "submit", "jobs",
+                        "cancel"):
         return handler(args)
 
     # install the command's executor as the session default so every

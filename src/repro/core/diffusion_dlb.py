@@ -27,7 +27,8 @@ from .composed import ComposedScheme
 from .policies import build_policies
 from .registry import SchemeSpec, register_scheme
 
-__all__ = ["DiffusionDLB", "DIFFUSION_SPEC"]
+__all__ = ["DiffusionDLB", "DIFFUSION_SPEC", "DIFFUSION_SOS_SPEC",
+           "DIFFUSION_DIMEX_SPEC"]
 
 DIFFUSION_SPEC = SchemeSpec(
     name="diffusion",
@@ -68,3 +69,35 @@ class DiffusionDLB(ComposedScheme):
 
 
 register_scheme(DIFFUSION_SPEC, lambda spec: DiffusionDLB(**spec.options))
+
+
+# ------------------------------------------------------------------ #
+# topology-aware, indivisibility-aware variants (Demirel & Sbalzarini,
+# "Balancing indivisible real-valued loads in arbitrary networks"):
+# neighbour sets drawn from the system's NetworkTopology, transfers
+# quantized to whole grids with hysteresis so quantization residue
+# cannot oscillate.
+# ------------------------------------------------------------------ #
+
+DIFFUSION_SOS_SPEC = SchemeSpec(
+    name="diffusion:sos",
+    display="second-order diffusion DLB",
+    weights="nominal",
+    decision="never",
+    global_partition="flat",
+    local="diffusion-sos",
+    options={"sweeps": 2, "beta": 1.6, "hysteresis": 0.02},
+)
+
+DIFFUSION_DIMEX_SPEC = SchemeSpec(
+    name="diffusion:dimex",
+    display="dimension-exchange diffusion DLB",
+    weights="nominal",
+    decision="never",
+    global_partition="flat",
+    local="diffusion-dimex",
+    options={"sweeps": 1, "hysteresis": 0.02},
+)
+
+register_scheme(DIFFUSION_SOS_SPEC)
+register_scheme(DIFFUSION_DIMEX_SPEC)

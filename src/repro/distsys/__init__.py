@@ -40,6 +40,19 @@ from .system import (
     parallel_system,
     wan_system,
 )
+from .topology import (
+    EdgeSpec,
+    NetworkTopology,
+    Route,
+    TopologyEdge,
+    TopologySpec,
+    fat_tree,
+    from_edges,
+    ring,
+    star,
+    torus,
+    wan_mesh,
+)
 from .traffic import (
     BurstyTraffic,
     ConstantTraffic,
@@ -87,6 +100,17 @@ __all__ = [
     "parallel_system",
     "wan_system",
     "multi_site_system",
+    "EdgeSpec",
+    "NetworkTopology",
+    "Route",
+    "TopologyEdge",
+    "TopologySpec",
+    "star",
+    "ring",
+    "torus",
+    "fat_tree",
+    "wan_mesh",
+    "from_edges",
     "BurstyTraffic",
     "ConstantTraffic",
     "DiurnalTraffic",

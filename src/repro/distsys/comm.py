@@ -156,25 +156,45 @@ class CommGeometry:
 
     ``system.is_remote`` / ``system.link_between`` cost two dict lookups per
     call; inside a message loop that is paid per message.  The geometry
-    hoists the pid -> group table and the (group, group) -> link matrix out
-    of the loop (links deduplicated by object identity, so shared inter-site
-    links aggregate exactly as the ``id(link)``-keyed scalar path did).
+    hoists the pid -> group table and the (group, group) -> *route* tables
+    out of the loop.  Routes come from the system's
+    :class:`~repro.distsys.topology.NetworkTopology` (a degenerate
+    star/mesh for classic two-level systems) and are stored per ordered
+    group pair in CSR form over the deduplicated link list: the distinct
+    links of the pair's route in hop order plus an endpoint flag marking
+    the first/last hop links that pay the per-message software overhead.
+
+    When every route has exactly one distinct link -- all two-level systems
+    -- ``multihop`` is ``False`` and ``link_index`` is the dense
+    (group, group) -> link matrix the pre-topology geometry carried, so
+    the single-link accounting below is byte-for-byte the original code
+    path (links deduplicated by object identity, shared inter-site links
+    aggregate exactly as the ``id(link)``-keyed scalar path did).
+    Multi-hop pairs get ``link_index == -1`` and route the CSR path.
     :class:`~repro.distsys.simulator.ClusterSimulator` caches one instance
     per fault epoch and hands it to every :func:`comm_phase_time` call.
     """
 
-    __slots__ = ("nprocs", "ngroups", "group_of_pid", "links", "link_index")
+    __slots__ = ("nprocs", "ngroups", "group_of_pid", "links", "link_index",
+                 "multihop", "route_start", "route_len", "route_links_flat",
+                 "route_endpoint_flat")
 
     def __init__(self, system: DistributedSystem) -> None:
         self.nprocs = system.nprocs
         self.ngroups = system.ngroups
         self.group_of_pid = system.pid_groups
-        # O(G + #links): the intra diagonal plus each registered inter-group
-        # pair, instead of materializing the full G x G pairwise sweep.
-        # Which integer index a link gets is arbitrary -- only link identity
-        # reaches the phase-time accounting -- so enumeration order is free.
+        # O(G + #links) for two-level systems, O(G^2 * route length) worst
+        # case.  Which integer index a link gets is arbitrary -- only link
+        # identity reaches the phase-time accounting -- so enumeration
+        # order is free.
         self.links: List[Link] = []
-        self.link_index = np.empty((self.ngroups, self.ngroups), dtype=np.int64)
+        G = self.ngroups
+        self.link_index = np.empty((G, G), dtype=np.int64)
+        self.route_start = np.zeros((G, G), dtype=np.int64)
+        self.route_len = np.zeros((G, G), dtype=np.int64)
+        self.multihop = False
+        flat_links: List[int] = []
+        flat_endpoint: List[int] = []
         by_id: Dict[int, int] = {}
 
         def _index_of(link: Link) -> int:
@@ -185,16 +205,52 @@ class CommGeometry:
                 self.links.append(link)
             return idx
 
-        for g in range(self.ngroups):
-            self.link_index[g, g] = _index_of(system.groups[g].intra_link)
-        for pair, link in system.inter_links.items():
-            ga, gb = sorted(pair)
-            self.link_index[ga, gb] = self.link_index[gb, ga] = _index_of(link)
+        def _add_route(a: int, b: int, idxs: List[int]) -> None:
+            self.route_start[a, b] = len(flat_links)
+            self.route_len[a, b] = len(idxs)
+            flat_links.extend(idxs)
+            if len(idxs) == 1:
+                flat_endpoint.append(1)
+            else:
+                flat_endpoint.extend([1] + [0] * (len(idxs) - 2) + [1])
+
+        topo = system.topology
+        for g in range(G):
+            idx = _index_of(system.groups[g].intra_link)
+            self.link_index[g, g] = idx
+            _add_route(g, g, [idx])
+        for a in range(G):
+            for b in range(a + 1, G):
+                idxs = [_index_of(link) for link in topo.route(a, b).links]
+                if len(idxs) == 1:
+                    self.link_index[a, b] = self.link_index[b, a] = idxs[0]
+                else:
+                    self.link_index[a, b] = self.link_index[b, a] = -1
+                    self.multihop = True
+                _add_route(a, b, idxs)
+                _add_route(b, a, list(reversed(idxs)))
+        self.route_links_flat = np.asarray(flat_links, dtype=np.int64)
+        self.route_endpoint_flat = np.asarray(flat_endpoint, dtype=np.int64)
 
     def link_between(self, src: int, dst: int) -> Link:
+        """The single link between two pids (two-level / single-link pairs)."""
         ga = self.group_of_pid[src]
         gb = self.group_of_pid[dst]
         return self.links[self.link_index[ga, gb]]
+
+    def route_links_between(self, src: int, dst: int
+                            ) -> List[Tuple[Link, int]]:
+        """The distinct links of the route between two pids, in hop order,
+        each with its endpoint flag (1 = pays per-message overhead)."""
+        ga = int(self.group_of_pid[src])
+        gb = int(self.group_of_pid[dst])
+        s = int(self.route_start[ga, gb])
+        n = int(self.route_len[ga, gb])
+        return [
+            (self.links[int(self.route_links_flat[k])],
+             int(self.route_endpoint_flat[k]))
+            for k in range(s, s + n)
+        ]
 
 
 @dataclass
@@ -277,24 +333,50 @@ def comm_phase_time(
             result.local_messages += 1
             result.local_bytes += msg.nbytes
 
-    # serialize bundles per link; links run concurrently
-    per_link: Dict[int, Tuple[Link, bool, float, int]] = {}
+    geo = geometry if geometry is not None else CommGeometry(system)
+    if not geo.multihop:
+        # serialize bundles per link; links run concurrently
+        per_link: Dict[int, Tuple[Link, bool, float, int]] = {}
+        for (src, dst), nbytes in bundles.items():
+            link = geo.link_between(src, dst)
+            remote = system.is_remote(src, dst)
+            key = id(link)
+            prev = per_link.get(key)
+            if prev is None:
+                per_link[key] = (link, remote, nbytes, 1)
+            else:
+                per_link[key] = (link, remote, prev[2] + nbytes, prev[3] + 1)
+
+        elapsed = 0.0
+        for link, remote, nbytes, npairs in per_link.values():
+            busy = link.phase_time(npairs, nbytes, time)
+            if remote:
+                result.remote_time += busy
+            else:
+                result.local_time += busy
+            elapsed = max(elapsed, busy)
+        result.elapsed = elapsed
+        return result
+
+    # routed: every edge of a bundle's route carries the bundle's bytes
+    # (shared-edge contention); per-message overhead is paid at the two
+    # endpoint links only, propagation latency once per traversed link.
+    per_route_link: Dict[int, List] = {}  # id -> [link, remote, bytes, nendp]
     for (src, dst), nbytes in bundles.items():
-        if geometry is not None:
-            link = geometry.link_between(src, dst)
-        else:
-            link = system.link_between(src, dst)
         remote = system.is_remote(src, dst)
-        key = id(link)
-        prev = per_link.get(key)
-        if prev is None:
-            per_link[key] = (link, remote, nbytes, 1)
-        else:
-            per_link[key] = (link, remote, prev[2] + nbytes, prev[3] + 1)
+        for link, endp in geo.route_links_between(src, dst):
+            rec = per_route_link.get(id(link))
+            if rec is None:
+                per_route_link[id(link)] = [link, remote, nbytes, endp]
+            else:
+                rec[1] = remote
+                rec[2] += nbytes
+                rec[3] += endp
 
     elapsed = 0.0
-    for link, remote, nbytes, npairs in per_link.values():
-        busy = link.phase_time(npairs, nbytes, time)
+    for link, remote, nbytes, nendp in per_route_link.values():
+        busy = (link.alpha(time) + nendp * link.per_message_overhead
+                + nbytes * link.beta(time))
         if remote:
             result.remote_time += busy
         else:
@@ -354,33 +436,76 @@ def _batch_phase_time(
     sums = np.zeros(first.shape[0], dtype=np.float64)
     np.add.at(sums, inv, nbytes)
     order = np.argsort(first, kind="stable")
-    pair_link = geo.link_index[gsrc[first], gdst[first]]
-    pair_remote = remote[first]
-
-    # serialize bundles per link; links run concurrently.  Grouped without
-    # a per-pair Python loop: with the pairs arranged in first-appearance
-    # order, np.add.at accumulates each link's bytes in exactly the order
-    # the dict-based loop added them (element order), the re-stamped
-    # remote flag is the link's *last* pair's flag, and folding busy times
-    # in link first-appearance order preserves the accumulation sequence.
-    ordered_link = pair_link[order]
     ordered_sums = sums[order]
-    ordered_remote = pair_remote[order]
-    uniq, lfirst, linv = np.unique(
-        ordered_link, return_index=True, return_inverse=True
-    )
+    ordered_remote = remote[first][order]
+
+    if not geo.multihop:
+        pair_link = geo.link_index[gsrc[first], gdst[first]]
+
+        # serialize bundles per link; links run concurrently.  Grouped
+        # without a per-pair Python loop: with the pairs arranged in
+        # first-appearance order, np.add.at accumulates each link's bytes
+        # in exactly the order the dict-based loop added them (element
+        # order), the re-stamped remote flag is the link's *last* pair's
+        # flag, and folding busy times in link first-appearance order
+        # preserves the accumulation sequence.
+        ordered_link = pair_link[order]
+        uniq, lfirst, linv = np.unique(
+            ordered_link, return_index=True, return_inverse=True
+        )
+        link_sums = np.zeros(uniq.shape[0], dtype=np.float64)
+        np.add.at(link_sums, linv, ordered_sums)
+        link_npairs = np.bincount(linv)
+        last_pos = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.maximum.at(last_pos, linv, np.arange(ordered_link.shape[0]))
+        link_remote = ordered_remote[last_pos]
+
+        elapsed = 0.0
+        for k in np.argsort(lfirst, kind="stable"):
+            busy = geo.links[int(uniq[k])].phase_time(
+                int(link_npairs[k]), float(link_sums[k]), time
+            )
+            if link_remote[k]:
+                result.remote_time += busy
+            else:
+                result.local_time += busy
+            elapsed = max(elapsed, busy)
+        result.elapsed = elapsed
+        return result
+
+    # routed: expand each pair bundle (still in first-appearance order)
+    # into the distinct links of its route via the CSR tables, then
+    # aggregate per link -- every traversed edge carries the bundle's
+    # bytes (shared-edge contention), only endpoint-flagged hops count
+    # toward the per-message overhead.  The same order conventions as the
+    # single-link path keep the float folds deterministic.
+    ga_o = gsrc[first][order]
+    gb_o = gdst[first][order]
+    counts = geo.route_len[ga_o, gb_o]
+    starts = geo.route_start[ga_o, gb_o]
+    total = int(counts.sum())
+    csum = np.cumsum(counts) - counts
+    flat = (np.repeat(starts, counts)
+            + np.arange(total, dtype=np.int64) - np.repeat(csum, counts))
+    elink = geo.route_links_flat[flat]
+    ebytes = np.repeat(ordered_sums, counts)
+    eendp = geo.route_endpoint_flat[flat]
+    eremote = np.repeat(ordered_remote, counts)
+    uniq, lfirst, linv = np.unique(elink, return_index=True, return_inverse=True)
     link_sums = np.zeros(uniq.shape[0], dtype=np.float64)
-    np.add.at(link_sums, linv, ordered_sums)
-    link_npairs = np.bincount(linv)
+    np.add.at(link_sums, linv, ebytes)
+    link_nendp = np.zeros(uniq.shape[0], dtype=np.int64)
+    np.add.at(link_nendp, linv, eendp)
     last_pos = np.zeros(uniq.shape[0], dtype=np.int64)
-    np.maximum.at(last_pos, linv, np.arange(ordered_link.shape[0]))
-    link_remote = ordered_remote[last_pos]
+    np.maximum.at(last_pos, linv, np.arange(elink.shape[0]))
+    link_remote = eremote[last_pos]
 
     elapsed = 0.0
     for k in np.argsort(lfirst, kind="stable"):
-        busy = geo.links[int(uniq[k])].phase_time(
-            int(link_npairs[k]), float(link_sums[k]), time
-        )
+        link = geo.links[int(uniq[k])]
+        busy = (link.alpha(time)
+                + int(link_nendp[k]) * link.per_message_overhead
+                + float(link_sums[k]) * link.beta(time))
         if link_remote[k]:
             result.remote_time += busy
         else:

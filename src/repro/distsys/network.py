@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .traffic import NoTraffic, TrafficModel
+from .traffic import MAX_OCCUPANCY, NoTraffic, TrafficModel
 
 __all__ = ["Link", "origin2000_interconnect", "gigabit_lan", "mren_wan"]
 
@@ -72,8 +72,14 @@ class Link:
     # ------------------------------------------------------------------ #
 
     def occupancy(self, time: float) -> float:
-        """Background occupancy at ``time`` (0 = idle link)."""
-        return self.traffic.occupancy(time)
+        """Background occupancy at ``time`` (0 = idle link).
+
+        Clamped to ``[0, MAX_OCCUPANCY]`` regardless of what the traffic
+        model reports: an occupancy >= 1 would make
+        :meth:`effective_bandwidth` zero or negative and :meth:`beta`
+        infinite or negative.  A saturated link stays a (very) slow link.
+        """
+        return min(MAX_OCCUPANCY, max(0.0, self.traffic.occupancy(time)))
 
     def effective_bandwidth(self, time: float) -> float:
         """Achievable transfer rate (bytes/s) at ``time``."""

@@ -224,19 +224,21 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ #
 
     def probe_inter_link(self, group_a: int, group_b: int) -> Tuple[float, float]:
-        """Measure ``(alpha, beta)`` of the link between two groups.
+        """Measure ``(alpha, beta)`` of the path between two groups.
 
-        Sends one small and one large message, solves the two-point linear
-        system of the paper's ``Tcomm = alpha + beta*L`` model, charges the
-        probe's wall-clock, and returns ``(alpha_seconds, beta_s_per_byte)``.
+        Sends one small and one large message over the groups' route (the
+        single shared link of a two-level system; a multi-hop path on an
+        explicit topology), solves the two-point linear system of the
+        paper's ``Tcomm = alpha + beta*L`` model, charges the probe's
+        wall-clock, and returns ``(alpha_seconds, beta_s_per_byte)``.
         The estimate is exact at the instant of the probe; the *network may
         have changed* by the time a migration runs -- that gap is inherent
         to the paper's method and is measured by the cost-model ablation.
         """
         with self.tracer.span("probe", group_a=group_a, group_b=group_b) as span:
-            link = self.system.inter_link(group_a, group_b)
-            t_small = link.transfer_time(PROBE_SMALL_BYTES, self.clock)
-            t_large = link.transfer_time(PROBE_LARGE_BYTES, self.clock)
+            route = self.system.route_between(group_a, group_b)
+            t_small = route.transfer_time(PROBE_SMALL_BYTES, self.clock)
+            t_large = route.transfer_time(PROBE_LARGE_BYTES, self.clock)
             beta = (t_large - t_small) / (PROBE_LARGE_BYTES - PROBE_SMALL_BYTES)
             alpha = t_small - beta * PROBE_SMALL_BYTES
             elapsed = t_small + t_large

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import FaultParams
 from .network import Link, gigabit_lan, mren_wan, origin2000_interconnect
+from .topology import TopologySpec
 from .traffic import TrafficModel
 
 __all__ = [
@@ -61,7 +62,7 @@ def _resolve_link(preset: str, name: Optional[str] = None,
 
 _GROUP_FIELDS = ("nprocs", "name", "weight", "base_speed", "intra_link")
 _SPEC_FIELDS = ("groups", "inter_link", "inter_link_name",
-                "independent_inter_links", "base_speed", "fault")
+                "independent_inter_links", "base_speed", "fault", "topology")
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,13 @@ class SystemSpec:
         Optional fault-schedule hook: a :class:`~repro.config.FaultParams`
         the harness expands when the experiment config itself pins no
         scenario.
+    topology:
+        Optional :class:`~repro.distsys.topology.TopologySpec` network
+        graph.  When set, ``inter_link``/``inter_link_name``/
+        ``independent_inter_links`` are ignored: groups communicate over
+        the graph's precomputed routes instead of direct pairwise links.
+        When ``None`` (the default) the classic two-level federation is
+        built and auto-derived as a degenerate star/mesh topology.
     """
 
     groups: Tuple[GroupSpec, ...] = field(default_factory=tuple)
@@ -159,6 +167,7 @@ class SystemSpec:
     independent_inter_links: bool = False
     base_speed: Optional[float] = None
     fault: Optional[FaultParams] = None
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         groups = tuple(
@@ -177,6 +186,16 @@ class SystemSpec:
             raise ValueError(
                 f"base_speed must be positive, got {self.base_speed}"
             )
+        if self.topology is not None:
+            topology = self.topology
+            if not isinstance(topology, TopologySpec):
+                topology = TopologySpec.from_dict(dict(topology))
+                object.__setattr__(self, "topology", topology)
+            if topology.ngroups != len(groups):
+                raise ValueError(
+                    f"topology has {topology.ngroups} group node(s) but the "
+                    f"spec has {len(groups)} group(s)"
+                )
 
     # ------------------------------------------------------------------ #
 
@@ -206,7 +225,7 @@ class SystemSpec:
         :meth:`from_dict`."""
         from dataclasses import asdict
 
-        return {
+        data = {
             "groups": [g.to_dict() for g in self.groups],
             "inter_link": self.inter_link,
             "inter_link_name": self.inter_link_name,
@@ -214,6 +233,10 @@ class SystemSpec:
             "base_speed": self.base_speed,
             "fault": asdict(self.fault) if self.fault is not None else None,
         }
+        # omitted when absent so pre-topology cache keys stay stable
+        if self.topology is not None:
+            data["topology"] = self.topology.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SystemSpec":
@@ -233,7 +256,10 @@ class SystemSpec:
         fault = fields.pop("fault", None)
         if fault is not None and not isinstance(fault, FaultParams):
             fault = FaultParams(**fault)
-        return cls(groups=groups, fault=fault, **fields)
+        topology = fields.pop("topology", None)
+        if topology is not None and not isinstance(topology, TopologySpec):
+            topology = TopologySpec.from_dict(dict(topology))
+        return cls(groups=groups, fault=fault, topology=topology, **fields)
 
 
 # --------------------------------------------------------------------- #

@@ -29,6 +29,12 @@ from .spec import (
     parallel_spec,
     wan_spec,
 )
+from .topology import (
+    NetworkTopology,
+    Route,
+    degenerate_topology,
+    resolve_topology,
+)
 from .traffic import TrafficModel
 
 __all__ = [
@@ -53,13 +59,23 @@ class DistributedSystem:
         The member groups; ``group_id`` must equal the list index.
     inter_links:
         Mapping from an unordered group-id pair to the connecting link.
-        Every distinct pair of groups must be connected.
+        Without an explicit ``topology``, every distinct pair of groups
+        must be connected (the classic two-level federation), and a
+        degenerate star/mesh :class:`~repro.distsys.topology.
+        NetworkTopology` is derived from it so routed code paths see the
+        identical ``Link`` objects.
+    topology:
+        Optional explicit network graph.  When given, communication is
+        routed over its precomputed route tables; ``inter_links`` may then
+        be empty (the graph's connectivity validation replaces the
+        all-pairs check).
     """
 
     def __init__(
         self,
         groups: Sequence[Group],
         inter_links: Optional[Dict[FrozenSet[int], Link]] = None,
+        topology: Optional[NetworkTopology] = None,
     ) -> None:
         if not groups:
             raise ValueError("a system needs at least one group")
@@ -68,11 +84,23 @@ class DistributedSystem:
                 raise ValueError(f"group {g.name!r} has id {g.group_id}, expected {i}")
         self.groups: List[Group] = list(groups)
         self.inter_links: Dict[FrozenSet[int], Link] = dict(inter_links or {})
-        # validate connectivity and pid density
-        for i in range(len(groups)):
-            for j in range(i + 1, len(groups)):
-                if frozenset((i, j)) not in self.inter_links:
-                    raise ValueError(f"groups {i} and {j} are not connected")
+        if topology is not None:
+            if topology.ngroups != len(groups):
+                raise ValueError(
+                    f"topology has {topology.ngroups} group node(s) but the "
+                    f"system has {len(groups)} group(s)"
+                )
+            self.topology: NetworkTopology = topology
+        else:
+            # validate two-level connectivity, then derive the degenerate
+            # star/mesh graph over the *same* Link objects
+            for i in range(len(groups)):
+                for j in range(i + 1, len(groups)):
+                    if frozenset((i, j)) not in self.inter_links:
+                        raise ValueError(f"groups {i} and {j} are not connected")
+            self.topology = degenerate_topology(
+                [g.name for g in self.groups], self.inter_links
+            )
         pids = [p.pid for g in self.groups for p in g.processors]
         if sorted(pids) != list(range(len(pids))):
             raise ValueError(f"processor ids must be dense 0..n-1, got {sorted(pids)}")
@@ -141,13 +169,36 @@ class DistributedSystem:
         ga, gb = self._procs[pid_a].group_id, self._procs[pid_b].group_id
         if ga == gb:
             return self.groups[ga].intra_link
-        return self.inter_links[frozenset((ga, gb))]
+        return self.inter_link(ga, gb)
 
     def inter_link(self, group_a: int, group_b: int) -> Link:
-        """The link between two (distinct) groups."""
+        """The single link between two (distinct) groups.
+
+        On an explicit topology this only exists when the pair's route has
+        one distinct underlying link; multi-hop pairs must use
+        :meth:`route_between`.
+        """
         if group_a == group_b:
             raise ValueError("inter_link needs two distinct groups")
-        return self.inter_links[frozenset((group_a, group_b))]
+        pair = frozenset((group_a, group_b))
+        if pair in self.inter_links:
+            return self.inter_links[pair]
+        route = self.topology.route(group_a, group_b)
+        if len(route.links) == 1:
+            return route.links[0]
+        raise ValueError(
+            f"groups {group_a} and {group_b} communicate over the "
+            f"{len(route.links)}-link route {route.edge_names()}; use "
+            "route_between() instead of inter_link()"
+        )
+
+    def route_between(self, group_a: int, group_b: int) -> Route:
+        """The precomputed route between two (distinct) groups."""
+        return self.topology.route(group_a, group_b)
+
+    def group_neighbors(self, group: int) -> tuple:
+        """Topology-adjacent groups (complete graph on two-level systems)."""
+        return self.topology.group_neighbors(group)
 
     # ------------------------------------------------------------------ #
     # capacity math (paper Section 4.4)
@@ -195,6 +246,10 @@ class DistributedSystem:
                 f"  {self.groups[a].name} <-> {self.groups[b].name}: {link.name} "
                 f"(alpha={link.latency:.2e}s, bw={link.bandwidth / 1e6:.1f} MB/s)"
             )
+        # derived (degenerate two-level) graphs keep the classic report;
+        # explicit topologies describe the routed graph instead
+        if not self.topology.derived:
+            lines.append(self.topology.describe())
         self._describe = "\n".join(lines)
         return self._describe
 
@@ -229,6 +284,10 @@ def _system_from_spec(
         groups.append(
             Group(gi, name, procs,
                   intra_link=_resolve_link(gs.intra_link, name=f"intra-{name}"))
+        )
+    if spec.topology is not None:
+        return DistributedSystem(
+            groups, {}, topology=resolve_topology(spec.topology, traffic)
         )
     links: Dict[FrozenSet[int], Link] = {}
     n = spec.ngroups

@@ -175,13 +175,18 @@ class LinkDegradationFault:
 
     ``occupancy`` near the link clamp (0.95) is an outage; smaller values
     model a routing detour or a competing bulk transfer.  ``groups`` names
-    one group pair, or ``None`` for every inter-group link.
+    one group pair, ``edge`` one topology edge by name (see
+    :meth:`~repro.distsys.topology.NetworkTopology.edge_names`), or both
+    ``None`` for every inter-group link.  On an explicit topology a
+    ``groups`` fault degrades every edge of the pair's route; an ``edge``
+    fault degrades that one edge -- and thereby every route crossing it.
     """
 
     start: float = 0.0
     end: float = math.inf
     occupancy: float = 0.5
     groups: Optional[Tuple[int, int]] = None
+    edge: Optional[str] = None
 
     kind = "link"
 
@@ -190,6 +195,8 @@ class LinkDegradationFault:
             raise ValueError(f"need end > start, got [{self.start}, {self.end})")
         if not 0.0 < self.occupancy <= 1.0:
             raise ValueError(f"occupancy must be in (0, 1], got {self.occupancy}")
+        if self.groups is not None and self.edge is not None:
+            raise ValueError("give groups or edge, not both")
         if self.groups is not None:
             a, b = self.groups
             if a == b:
@@ -197,6 +204,8 @@ class LinkDegradationFault:
             object.__setattr__(self, "groups", (int(a), int(b)))
 
     def matches_pair(self, pair: FrozenSet[int]) -> bool:
+        if self.edge is not None:
+            return False  # edge faults resolve through the topology
         return self.groups is None or frozenset(self.groups) == pair
 
     def overlay_model(self) -> LoadModel:
@@ -209,11 +218,12 @@ class LinkDegradationFault:
         return (self.start, self.end)
 
     def describe(self) -> str:
-        where = (
-            f"link {self.groups[0]}<->{self.groups[1]}"
-            if self.groups is not None
-            else "all inter-group links"
-        )
+        if self.edge is not None:
+            where = f"edge {self.edge!r}"
+        elif self.groups is not None:
+            where = f"link {self.groups[0]}<->{self.groups[1]}"
+        else:
+            where = "all inter-group links"
         return f"{self.occupancy:.0%} degradation of {where}"
 
 
@@ -297,17 +307,60 @@ class FaultSchedule:
                 procs.append(p)
             new_groups.append(Group(g.group_id, g.name, procs, intra_link=g.intra_link))
 
-        new_links = {}
         lfaults = self.link_faults
+        topo = system.topology
+        known_edges = set(topo.edge_names())
+        for f in lfaults:
+            if f.edge is not None and f.edge not in known_edges:
+                raise ValueError(
+                    f"link fault targets unknown edge {f.edge!r}; "
+                    f"known edges: {sorted(known_edges)}"
+                )
+
+        new_links = {}
         for pair, link in system.inter_links.items():
             overlays = [f.overlay_model() for f in lfaults if f.matches_pair(pair)]
+            # edge-named faults address the derived star/mesh graph: they
+            # hit the pair iff the named edge carries this pair's link
+            overlays += [
+                f.overlay_model()
+                for f in lfaults
+                if f.edge is not None and topo.edge_named(f.edge).link is link
+            ]
             if overlays:
                 link = replace(
                     link,
                     traffic=OverlaidTraffic(link.traffic, ComposedLoad(tuple(overlays))),
                 )
             new_links[pair] = link
-        return DistributedSystem(new_groups, new_links)
+        if topo.derived:
+            # re-derive the degenerate topology over the replaced links
+            return DistributedSystem(new_groups, new_links)
+
+        # explicit topology: overlay traffic on the targeted edges.  Routes
+        # are unchanged -- Dijkstra weighs static zero-load latency -- so the
+        # degraded system's route table is identical by construction.
+        new_edge_links = {}
+        for ei, e in enumerate(topo.edges):
+            overlays = []
+            for f in lfaults:
+                if f.edge is not None:
+                    if f.edge == e.name:
+                        overlays.append(f.overlay_model())
+                elif f.groups is not None:
+                    a, b = f.groups
+                    if e.name in topo.route(a, b).edge_names():
+                        overlays.append(f.overlay_model())
+                else:
+                    overlays.append(f.overlay_model())
+            if overlays:
+                new_edge_links[ei] = replace(
+                    e.link,
+                    traffic=OverlaidTraffic(e.link.traffic,
+                                            ComposedLoad(tuple(overlays))),
+                )
+        new_topo = topo.with_edge_links(new_edge_links) if new_edge_links else topo
+        return DistributedSystem(new_groups, new_links, topology=new_topo)
 
     # ------------------------------------------------------------------ #
     # timeline

@@ -39,6 +39,19 @@ EXPECTED_API = [
     "lan_spec",
     "wan_spec",
     "multi_site_spec",
+    # network topologies
+    "NetworkTopology",
+    "TopologySpec",
+    "EdgeSpec",
+    "Route",
+    "star",
+    "ring",
+    "torus",
+    "fat_tree",
+    "wan_mesh",
+    "from_edges",
+    "DIFFUSION_SOS_SPEC",
+    "DIFFUSION_DIMEX_SPEC",
     # schemes: policy protocols + registry
     "WeightPolicy",
     "DecisionPolicy",

@@ -278,3 +278,43 @@ class TestExecFlags:
         assert "cleared 2" in capsys.readouterr().out
         assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
         assert "entries:   0" in capsys.readouterr().out
+
+
+class TestTopologyCommand:
+    def _spec_path(self, tmp_path):
+        import json
+
+        from repro.distsys import GroupSpec, SystemSpec, ring
+
+        t = ring(4)
+        spec = SystemSpec(
+            groups=tuple(GroupSpec(name=n, nprocs=1) for n in t.groups),
+            topology=t)
+        path = tmp_path / "ring.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return path
+
+    def test_default_spec_described(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "NetworkTopology" in out
+        assert "validated: spec round-trips" in out
+
+    def test_explicit_spec_routes_listed(self, capsys, tmp_path):
+        assert main(["topology", "--system", str(self._spec_path(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 2:" in out  # two-hop route around the ring
+        assert "6 group pair(s)" in out
+
+    def test_dot_output(self, capsys, tmp_path):
+        assert main(["topology", "--system", str(self._spec_path(tmp_path)),
+                     "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph topology {")
+        assert out.rstrip().endswith("}")
+
+    def test_bad_spec_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"groups": [], "colour": "red"}')
+        assert main(["topology", "--system", str(bad)]) == 2
+        assert "error" in capsys.readouterr().out

@@ -5,7 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.distsys.network import Link, gigabit_lan, mren_wan, origin2000_interconnect
-from repro.distsys.traffic import ConstantTraffic, NoTraffic
+from repro.distsys.traffic import MAX_OCCUPANCY, ConstantTraffic, NoTraffic
+
+
+class _SaturatedTraffic:
+    """A hostile traffic model reporting occupancy >= 1 (or < 0)."""
+
+    def __init__(self, level: float):
+        self.level = level
+
+    def occupancy(self, time: float) -> float:
+        return self.level
 
 
 class TestLink:
@@ -91,3 +101,53 @@ class TestPresets:
     def test_negative_overhead_rejected(self):
         with pytest.raises(ValueError):
             Link("t", latency=0.0, bandwidth=1e6, per_message_overhead=-1)
+
+
+class TestOccupancyClamp:
+    """Regression: occupancy >= 1 must not zero (or negate) the bandwidth.
+
+    A traffic model reporting full saturation previously made
+    ``effective_bandwidth`` zero and ``beta`` infinite -- a divide-by-zero
+    waiting to happen in every phase-time sum.  The clamp keeps a saturated
+    link a (very) slow link.
+    """
+
+    def test_saturated_traffic_keeps_bandwidth_positive(self):
+        link = Link("t", latency=0.001, bandwidth=1e6,
+                    traffic=_SaturatedTraffic(1.0))
+        assert link.occupancy(0.0) == pytest.approx(MAX_OCCUPANCY)
+        assert link.effective_bandwidth(0.0) > 0.0
+        assert link.beta(0.0) < float("inf")
+
+    def test_oversaturated_traffic_clamped(self):
+        link = Link("t", latency=0.001, bandwidth=1e6,
+                    traffic=_SaturatedTraffic(3.5))
+        assert link.occupancy(123.0) == pytest.approx(MAX_OCCUPANCY)
+        t = link.transfer_time(1024, 123.0)
+        assert t > 0.0 and t < float("inf")
+
+    def test_negative_occupancy_clamped_to_idle(self):
+        link = Link("t", latency=0.001, bandwidth=1e6,
+                    traffic=_SaturatedTraffic(-0.25))
+        assert link.occupancy(0.0) == 0.0
+        assert link.effective_bandwidth(0.0) == pytest.approx(1e6)
+
+    def test_degraded_link_overlay_stays_finite(self):
+        """A fault overlay stacking on heavy traffic must stay finite."""
+        base = Link("t", latency=0.005, bandwidth=19e6,
+                    traffic=_SaturatedTraffic(0.999))
+        # a degradation overlay divides bandwidth further, as the fault
+        # schedule does; phase_time must remain positive and finite
+        degraded = Link("t-degraded", latency=base.latency * 4,
+                        bandwidth=base.bandwidth / 10,
+                        traffic=base.traffic)
+        t = degraded.phase_time(4, 1e6, 0.0)
+        assert 0.0 < t < float("inf")
+
+    def test_clamp_is_noop_for_builtin_models(self):
+        """Built-in models already sit inside [0, MAX_OCCUPANCY]: the clamp
+        must be bit-for-bit invisible for them (golden safety)."""
+        for level in (0.0, 0.3, MAX_OCCUPANCY):
+            link = Link("t", latency=0.001, bandwidth=1e6,
+                        traffic=ConstantTraffic(level))
+            assert link.occupancy(7.0) == level

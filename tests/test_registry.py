@@ -36,8 +36,8 @@ from repro.harness import ExperimentConfig, run_experiment, run_paired, run_swee
 
 SMALL = ExperimentConfig(procs_per_group=1, steps=2)
 
-BUILTINS = ("diffusion", "distributed", "parallel",
-            "sfc:hilbert", "sfc:morton", "static")
+BUILTINS = ("diffusion", "diffusion:dimex", "diffusion:sos", "distributed",
+            "parallel", "sfc:hilbert", "sfc:morton", "static")
 
 HYBRID = SchemeSpec(
     name="hybrid-diffusion",
