@@ -20,7 +20,14 @@ config's traffic seed.  Older positional call forms still work behind
 from __future__ import annotations
 
 # -- configuration ---------------------------------------------------------
-from .config import ExecParams, FaultParams, SchemeParams, SimParams, TraceParams
+from .config import (
+    ExecParams,
+    FaultParams,
+    SchemeParams,
+    ServiceConfig,
+    SimParams,
+    TraceParams,
+)
 from .harness.experiment import ExperimentConfig, sequential_config
 
 # -- system construction ---------------------------------------------------
@@ -127,6 +134,19 @@ from .traces import (
     write_trace,
 )
 
+# -- serving simulator (DLB as a request router) ---------------------------
+from .service import (
+    LatencyHistogram,
+    ServiceReport,
+    available_arrival_presets,
+    available_router_policies,
+    format_service_report,
+    make_router_policy,
+    register_router_policy,
+    report_hash,
+    simulate_service,
+)
+
 # -- persistence -----------------------------------------------------------
 from .harness.persist import (
     load_fault_scenarios,
@@ -155,6 +175,7 @@ __all__ = [
     "FaultParams",
     "ExecParams",
     "TraceParams",
+    "ServiceConfig",
     "sequential_config",
     # system construction
     "SystemSpec",
@@ -242,6 +263,16 @@ __all__ = [
     "register_synth_workload",
     "available_synth_workloads",
     "make_synth_workload",
+    # serving simulator (DLB as a request router)
+    "simulate_service",
+    "ServiceReport",
+    "LatencyHistogram",
+    "report_hash",
+    "format_service_report",
+    "register_router_policy",
+    "available_router_policies",
+    "make_router_policy",
+    "available_arrival_presets",
     # persistence
     "save_run",
     "load_run",

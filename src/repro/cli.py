@@ -9,6 +9,7 @@ Subcommands
 ``trace``    run schemes under the tracer, export Chrome trace / JSONL / flame
 ``record``   run one experiment while recording its workload trace to a file
 ``replay``   re-balance a recorded (or synthetic) trace, no AMR solver
+``route``    serve a request stream: DLB schemes as shard migration policies
 ``figure``   regenerate one of the paper's figures (fig1 .. fig8)
 ``cache``    inspect or clear the content-addressed result cache
 ``serve``    start the long-running job daemon (local JSON API)
@@ -66,6 +67,8 @@ Examples
     python -m repro record --app blastwave --steps 4 --out blast.trace.jsonl.gz
     python -m repro replay blast.trace.jsonl.gz --scheme static --gamma 4
     python -m repro replay synth:adversarial --procs 4 --steps 6
+    python -m repro route --scheme distributed --arrivals flash-crowd
+    python -m repro route --router ewma --duration 120 --rps 5000 --shards 64
     python -m repro figure fig2
     python -m repro cache --clear
     python -m repro serve --workers 4 &
@@ -139,6 +142,18 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                     help="slowdown factor of the affected resource (default: 4)")
     fg.add_argument("--fault-seed", type=int, default=0,
                     help="seed for stochastic fault load models (default: 0)")
+
+
+def _arrival_preset_names() -> List[str]:
+    from .service import available_arrival_presets
+
+    return available_arrival_presets()
+
+
+def _router_policy_names() -> List[str]:
+    from .service import available_router_policies
+
+    return available_router_policies()
 
 
 def _positive_int(text: str) -> int:
@@ -359,6 +374,49 @@ def build_parser() -> argparse.ArgumentParser:
                           help="synthetic workload intensity (default: 1.0)")
     p_replay.add_argument("--timeline", action="store_true",
                           help="print the per-coarse-step activity table")
+
+    p_route = sub.add_parser(
+        "route",
+        help="serve a request stream: DLB schemes as shard migration policies",
+    )
+    _add_experiment_args(p_route)
+    _add_exec_args(p_route)
+    _add_trace_args(p_route)
+    p_route.add_argument("--scheme", default="distributed",
+                         choices=[*available_schemes(), SEQUENTIAL],
+                         help="shard migration scheme (default: distributed)")
+    sg = p_route.add_argument_group("serving workload")
+    sg.add_argument("--shards", type=_positive_int, default=32, metavar="S",
+                    help="number of shards (default: 32)")
+    sg.add_argument("--replication", type=_positive_int, default=2, metavar="R",
+                    help="replicas per shard, within the primary's group "
+                         "(default: 2)")
+    sg.add_argument("--rps", type=float, default=2000.0, metavar="RATE",
+                    help="aggregate request rate at traffic saturation "
+                         "(default: 2000)")
+    sg.add_argument("--service-rate", type=float, default=150.0, metavar="MU",
+                    help="requests/second one nominal processor serves "
+                         "(default: 150)")
+    sg.add_argument("--duration", type=float, default=60.0, metavar="SECONDS",
+                    help="simulated serving time (default: 60)")
+    sg.add_argument("--arrivals", default="flash-crowd",
+                    choices=_arrival_preset_names(),
+                    help="arrival-shape preset (default: flash-crowd)")
+    sg.add_argument("--arrival-seed", type=int, default=0,
+                    help="seed of the arrival process (default: 0)")
+    sg.add_argument("--router", default="round-robin",
+                    choices=_router_policy_names(),
+                    help="replica-selection policy (default: round-robin)")
+    sg.add_argument("--router-seed", type=int, default=0,
+                    help="seed of sampling routers (default: 0)")
+    sg.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                    help="key-popularity Zipf exponent, 0 = uniform "
+                         "(default: 1.1)")
+    sg.add_argument("--balance-every", type=float, default=10.0,
+                    metavar="SECONDS",
+                    help="balance-point interval (default: 10)")
+    sg.add_argument("--slo-ms", type=float, default=250.0, metavar="MS",
+                    help="latency objective (default: 250)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name",
@@ -677,6 +735,45 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .config import ServiceConfig
+    from .service import ServiceReport, format_service_report
+
+    svc = ServiceConfig(
+        nshards=args.shards,
+        replication=args.replication,
+        requests_per_second=args.rps,
+        service_rate=args.service_rate,
+        duration_seconds=args.duration,
+        arrivals=args.arrivals,
+        arrival_seed=args.arrival_seed,
+        zipf_exponent=args.zipf,
+        router=args.router,
+        router_seed=args.router_seed,
+        balance_every_seconds=args.balance_every,
+        slo_ms=args.slo_ms,
+    )
+    cfg = replace(_config_from(args), service=svc)
+    tracer = _tracer_from(args)
+    trace = tracer is not None
+    task = ExecTask(cfg, args.scheme, use_cache=not trace, trace=trace)
+    result = get_default_executor().run_tasks([task])[0]
+    if trace and result.spans:
+        tracer.extend(result.spans)
+    report = ServiceReport.from_run(result)
+    print(format_service_report(report))
+    print(f"  report hash {report.hash}")
+    if args.json:
+        from .harness import save_run
+
+        save_run(result, args.json)
+        print(f"result written to {args.json}")
+    _finish_trace(tracer, args)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .exec import ResultCache
 
@@ -953,6 +1050,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "record": _cmd_record,
         "replay": _cmd_replay,
+        "route": _cmd_route,
         "figure": _cmd_figure,
         "topology": _cmd_topology,
         "cache": _cmd_cache,

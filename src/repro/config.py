@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Final, Tuple
 
 __all__ = ["SimParams", "SchemeParams", "FaultParams", "ExecParams",
-           "TraceParams", "FAULT_SCENARIOS"]
+           "TraceParams", "ServiceConfig", "FAULT_SCENARIOS"]
 
 #: fault scenarios the harness knows how to build (see
 #: :func:`repro.harness.experiment.make_faults`)
@@ -200,6 +200,119 @@ class TraceParams:
     def is_synthetic(self) -> bool:
         """Whether the source is a generator reference, not a file."""
         return self.source.startswith("synth:")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """A serving-simulator run (see ``docs/SERVICE.md``).
+
+    When an :class:`~repro.harness.experiment.ExperimentConfig` carries one
+    of these, the harness runs the shard/replica request router of
+    :mod:`repro.service` instead of the AMR solver: the scheme under test
+    becomes the *shard migration* policy (its gain/cost gate and partition
+    run unchanged), ``router`` picks the per-request replica, and the
+    result carries a latency/throughput/migration-cost report on
+    ``RunResult.service``.
+
+    Parameters
+    ----------
+    nshards / replication / shard_side:
+        The shard set: ``nshards`` shards, up to ``replication`` replicas
+        each (replicas stay within the primary's group), each shard a
+        ``shard_side``-wide strip of the key lattice (``>= 2`` so hot
+        shards stay splittable).
+    requests_per_second:
+        Aggregate arrival rate at traffic saturation -- the arrival
+        preset's occupancy maps onto ``[0, requests_per_second]``.
+    service_rate:
+        Requests/second one nominal-speed processor serves; faster or
+        externally loaded processors scale proportionally.
+    request_bytes:
+        Payload per request crossing an inter-group route (gateway to a
+        remote replica).
+    tick_seconds / duration_seconds:
+        Event-loop resolution and total simulated serving time.
+    arrivals / arrival_seed:
+        Arrival-shape preset (:func:`repro.service.available_arrival_presets`)
+        and its seed.
+    zipf_exponent / zipf_seed:
+        Key-popularity skew: per-cell Zipf weights under a seeded
+        permutation; ``0`` exponent means uniform popularity.
+    router / router_seed:
+        Replica-selection policy
+        (:func:`repro.service.available_router_policies`) and the seed for
+        sampling policies.
+    ewma_alpha / warmup_ticks:
+        EWMA smoothing for the response-time router state and the warm-up
+        ticks during which the ``ewma`` router splits evenly.
+    balance_every_seconds:
+        Balance-point interval -- how often observed shard load is handed
+        to the migration scheme.
+    gateway_group:
+        Group index where requests enter the system; replicas in other
+        groups pay the inter-group route latency per request.
+    slo_ms:
+        Latency objective; requests slower than this count as violations.
+    migration_stall_ms:
+        Extra latency added to a shard's requests while its state transfer
+        is in flight.
+    """
+
+    nshards: int = 32
+    replication: int = 2
+    shard_side: int = 16
+    requests_per_second: float = 2000.0
+    service_rate: float = 150.0
+    request_bytes: float = 2048.0
+    tick_seconds: float = 1.0
+    duration_seconds: float = 60.0
+    arrivals: str = "flash-crowd"
+    arrival_seed: int = 0
+    zipf_exponent: float = 1.1
+    zipf_seed: int = 0
+    router: str = "round-robin"
+    router_seed: int = 0
+    ewma_alpha: float = 0.3
+    warmup_ticks: int = 5
+    balance_every_seconds: float = 10.0
+    gateway_group: int = 0
+    slo_ms: float = 250.0
+    migration_stall_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.shard_side < 2:
+            raise ValueError("shard_side must be >= 2")
+        for name in ("requests_per_second", "service_rate", "request_bytes",
+                     "tick_seconds", "duration_seconds",
+                     "balance_every_seconds"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be >= 0")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.warmup_ticks < 0:
+            raise ValueError("warmup_ticks must be >= 0")
+        if self.gateway_group < 0:
+            raise ValueError("gateway_group must be >= 0")
+        if self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if self.migration_stall_ms < 0:
+            raise ValueError("migration_stall_ms must be >= 0")
+
+    @property
+    def nticks(self) -> int:
+        """Number of event-loop ticks in the run (at least one)."""
+        return max(1, int(round(self.duration_seconds / self.tick_seconds)))
+
+    @property
+    def balance_every_ticks(self) -> int:
+        """Ticks between balance points (at least one)."""
+        return max(1, int(round(self.balance_every_seconds / self.tick_seconds)))
 
 
 @dataclass(frozen=True)

@@ -55,8 +55,10 @@ from .topology import (
 )
 from .traffic import (
     BurstyTraffic,
+    ComposedTraffic,
     ConstantTraffic,
     DiurnalTraffic,
+    FlashCrowdTraffic,
     NoTraffic,
     OverlaidTraffic,
     TraceTraffic,
@@ -112,8 +114,10 @@ __all__ = [
     "wan_mesh",
     "from_edges",
     "BurstyTraffic",
+    "ComposedTraffic",
     "ConstantTraffic",
     "DiurnalTraffic",
+    "FlashCrowdTraffic",
     "NoTraffic",
     "OverlaidTraffic",
     "TraceTraffic",

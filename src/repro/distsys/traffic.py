@@ -27,8 +27,10 @@ __all__ = [
     "ConstantTraffic",
     "DiurnalTraffic",
     "BurstyTraffic",
+    "FlashCrowdTraffic",
     "TraceTraffic",
     "OverlaidTraffic",
+    "ComposedTraffic",
 ]
 
 #: occupancy is clamped below this so effective bandwidth never reaches zero
@@ -125,6 +127,84 @@ class BurstyTraffic(TrafficModel):
         return self.burst if u < self.burst_probability else self.base
 
 
+@dataclass(frozen=True)
+class FlashCrowdTraffic(TrafficModel):
+    """Sudden crowd spikes: a fast linear onset, then exponential decay.
+
+    Time is divided into *windows* of ``window_seconds``; each window
+    independently hosts a flash crowd with probability
+    ``crowd_probability``.  The spike's onset offset within the window and
+    its peak height are drawn from a Philox hash of ``(seed, window)``, so
+    occupancy is a pure function of time -- no hidden RNG state, identical
+    crowds for paired runs, resumable anywhere (the same discipline as
+    :class:`BurstyTraffic` and the ``synth:*`` generators).
+
+    Within a window hosting a crowd, occupancy ramps linearly from
+    ``base`` to ``base + peak`` over ``onset_seconds``, then decays
+    exponentially back toward ``base`` with time constant
+    ``decay_seconds`` -- the canonical empirical flash-crowd shape
+    (breaking news: near-instant arrival surge, slow loss of interest).
+    """
+
+    seed: int = 0
+    base: float = 0.05
+    peak: float = 0.8
+    crowd_probability: float = 0.5
+    window_seconds: float = 120.0
+    onset_seconds: float = 5.0
+    decay_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {self.window_seconds}")
+        if self.onset_seconds <= 0 or self.decay_seconds <= 0:
+            raise ValueError("onset_seconds and decay_seconds must be positive")
+        if not 0.0 <= self.crowd_probability <= 1.0:
+            raise ValueError(
+                f"crowd_probability must be in [0,1], got {self.crowd_probability}"
+            )
+        if not 0.0 <= self.base <= MAX_OCCUPANCY:
+            raise ValueError(f"base must be in [0, {MAX_OCCUPANCY}], got {self.base}")
+        if self.peak < 0:
+            raise ValueError(f"peak must be >= 0, got {self.peak}")
+
+    def crowd_in_window(self, window: int):
+        """``(onset_time, peak)`` of the crowd in ``window``, or ``None``.
+
+        Exposed so the service-arrival presets (and tests) can locate the
+        spikes a seed produces without scanning occupancy curves.
+        """
+        if window < 0:  # runs start at t=0; there is no pre-history window
+            return None
+        g = np.random.Generator(np.random.Philox(key=self.seed, counter=window))
+        u, offset_frac = g.random(2)
+        if u >= self.crowd_probability:
+            return None
+        # onset somewhere in the first half of the window, so the decay
+        # tail mostly plays out before the next window's draw
+        onset = (window + 0.5 * float(offset_frac)) * self.window_seconds
+        return onset, self.peak
+
+    def occupancy(self, time: float) -> float:
+        occ = self.base
+        window = int(time // self.window_seconds)
+        # a crowd in the previous window can still be decaying into this
+        # one; later contributions sum (two overlapping crowds stack)
+        for w in (window - 1, window):
+            crowd = self.crowd_in_window(w)
+            if crowd is None:
+                continue
+            onset, peak = crowd
+            dt = time - onset
+            if dt < 0:
+                continue
+            if dt < self.onset_seconds:
+                occ += peak * dt / self.onset_seconds
+            else:
+                occ += peak * math.exp(-(dt - self.onset_seconds) / self.decay_seconds)
+        return self._clamp(occ)
+
+
 class TraceTraffic(TrafficModel):
     """Step-function occupancy from a recorded trace.
 
@@ -162,13 +242,43 @@ class TraceTraffic(TrafficModel):
 
 
 @dataclass(frozen=True)
+class ComposedTraffic(TrafficModel):
+    """Sum of component occupancy sources, clamped once *after* summing.
+
+    Components are any objects with an ``occupancy(time)`` method (traffic
+    models, fault :class:`~repro.faults.load.LoadModel` overlays).  The
+    clamp to ``MAX_OCCUPANCY`` is applied exactly once, to the composite
+    sum -- never to partial sums -- so a three-way composition (e.g. the
+    service arrival preset's diurnal + bursty + flash crowd) is a plain
+    sum of its parts until the composite saturates.
+
+    Composition audit (pinned by ``tests/test_traffic.py``): because every
+    component occupancy is >= 0, nesting pairwise :class:`OverlaidTraffic`
+    clamps is numerically identical to this single post-sum clamp
+    (``min(C, min(C, a+b) + c) == min(C, a+b+c)`` for non-negative
+    ``a, b, c``), and the final consumers -- :meth:`repro.distsys.network.
+    Link.occupancy` and :meth:`repro.distsys.processor.Processor.
+    availability` -- clamp once more.  A composite can therefore never
+    exceed ``MAX_OCCUPANCY``, and effective bandwidth keeps its
+    ``(1 - MAX_OCCUPANCY)`` floor no matter how many sources stack.
+    """
+
+    parts: tuple = ()
+
+    def occupancy(self, time: float) -> float:
+        return self._clamp(sum(p.occupancy(time) for p in self.parts))
+
+
+@dataclass(frozen=True)
 class OverlaidTraffic(TrafficModel):
-    """Base traffic plus an extra occupancy source, clamped.
+    """Base traffic plus an extra occupancy source, clamped after summing.
 
     ``extra`` is any object with an ``occupancy(time)`` method -- in
     practice a :class:`~repro.faults.load.LoadModel` installed by a
     :class:`~repro.faults.schedule.FaultSchedule` to model a link
-    degradation or outage window on top of the ordinary weather.
+    degradation or outage window on top of the ordinary weather.  The
+    two-source special case of :class:`ComposedTraffic` (same clamp
+    discipline: one clamp, applied to the sum).
     """
 
     base: TrafficModel

@@ -59,7 +59,9 @@ __all__ = [
 #: keyed by trace content hash)
 #: v4: configs gained the declarative system field (a SystemSpec hashes
 #: into the key like any nested dataclass)
-CACHE_SCHEMA_VERSION = 4
+#: v5: configs gained the service field (serving-simulator runs; cached
+#: run dicts can carry a ``service`` report)
+CACHE_SCHEMA_VERSION = 5
 
 #: the code-version salt: results are only reused within the same package
 #: version and cache schema

@@ -15,7 +15,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..amr.applications import AMR64, AMRApplication, BlastWave, ShockPool3D
-from ..config import FaultParams, SchemeParams, SimParams, TraceParams
+from ..config import (
+    FaultParams,
+    SchemeParams,
+    ServiceConfig,
+    SimParams,
+    TraceParams,
+)
 from ..core.registry import SEQUENTIAL, make_scheme
 from ..distsys import (
     BurstyTraffic,
@@ -79,6 +85,12 @@ class ExperimentConfig:
     #: trace through the cluster simulator instead of running the AMR
     #: solver (see ``docs/TRACES.md``) -- ``app_name`` is then ignored
     trace: Optional[TraceParams] = None
+    #: optional serving-simulator workload; when set, the harness runs the
+    #: shard/replica request router of :mod:`repro.service` instead of the
+    #: AMR solver (see ``docs/SERVICE.md``) -- ``app_name`` is then ignored
+    #: and the scheme under test becomes the shard migration policy.
+    #: Mutually exclusive with ``trace``.  Plain dicts (wire form) coerce.
+    service: Optional[ServiceConfig] = None
     #: optional declarative system shape; when set, ``network`` and
     #: ``procs_per_group`` are ignored by :func:`make_system` and the spec
     #: is resolved instead (its ``base_speed=None`` groups inherit
@@ -89,6 +101,14 @@ class ExperimentConfig:
         if isinstance(self.system, dict):
             object.__setattr__(self, "system",
                                SystemSpec.from_dict(self.system))
+        if isinstance(self.service, dict):
+            object.__setattr__(self, "service",
+                               ServiceConfig(**self.service))
+        if self.service is not None and self.trace is not None:
+            raise ValueError(
+                "service and trace are mutually exclusive: a run replays a "
+                "trace or serves requests, not both"
+            )
         if self.app_name not in ("shockpool3d", "amr64", "blastwave"):
             raise ValueError(f"unknown app {self.app_name!r}")
         if self.network not in ("wan", "lan", "parallel"):
@@ -233,11 +253,17 @@ def make_faults(cfg: ExperimentConfig) -> Optional[FaultSchedule]:
 
 
 def _apply_seed(cfg: ExperimentConfig, seed: Optional[int]) -> ExperimentConfig:
-    """``seed`` overrides the config's traffic seed (the one stochastic
-    input of a run); ``None`` leaves the config untouched."""
+    """``seed`` overrides the config's stochastic inputs: the traffic seed
+    and, for service runs, the arrival/router seeds; ``None`` leaves the
+    config untouched."""
     if seed is None:
         return cfg
-    return replace(cfg, traffic_seed=int(seed))
+    cfg = replace(cfg, traffic_seed=int(seed))
+    if cfg.service is not None:
+        cfg = replace(cfg, service=replace(cfg.service,
+                                           arrival_seed=int(seed),
+                                           router_seed=int(seed)))
+    return cfg
 
 
 def resolve_trace_config(cfg: ExperimentConfig) -> ExperimentConfig:
@@ -339,6 +365,15 @@ def run_experiment(
         return result
     if cfg.trace is not None:
         return _run_replay(cfg, scheme, make_system(cfg), tracer)
+    if cfg.service is not None:
+        from ..service import simulate_service
+
+        metrics = MetricsRegistry() if tracer is not None else None
+        start_count = tracer.record_count if tracer is not None else 0
+        result = simulate_service(cfg, scheme, tracer=tracer, metrics=metrics)
+        if tracer is not None:
+            result.spans = tracer.records()[start_count:]
+        return result
     metrics = MetricsRegistry() if tracer is not None else None
     start_count = tracer.record_count if tracer is not None else 0
     runner = SAMRRunner(
@@ -404,6 +439,19 @@ def run_sequential(
         return _run_replay(cfg, "parallel",
                            build_system(parallel_spec(1, base_speed=cfg.base_speed)),
                            tracer, seq=True)
+    if cfg.service is not None:
+        from ..service import simulate_service
+
+        seq_cfg = replace(cfg, fault=None)
+        metrics = MetricsRegistry() if tracer is not None else None
+        start_count = tracer.record_count if tracer is not None else 0
+        result = simulate_service(
+            seq_cfg, "parallel", tracer=tracer, metrics=metrics,
+            system=build_system(parallel_spec(1, base_speed=cfg.base_speed)),
+        )
+        if tracer is not None:
+            result.spans = tracer.records()[start_count:]
+        return result
     seq_cfg = replace(cfg, network="parallel")
     metrics = MetricsRegistry() if tracer is not None else None
     start_count = tracer.record_count if tracer is not None else 0

@@ -13,7 +13,13 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
 
-from ..config import FaultParams, SchemeParams, SimParams, TraceParams
+from ..config import (
+    FaultParams,
+    SchemeParams,
+    ServiceConfig,
+    SimParams,
+    TraceParams,
+)
 from ..metrics.timing import RunResult
 from .replication import ReplicatedResult
 from .sweep import PairedResult, SweepResult
@@ -66,6 +72,8 @@ def run_result_to_dict(result: RunResult) -> Dict:
     # here (export them with repro.obs.write_chrome_trace / write_span_jsonl)
     if result.metrics is not None:
         out["metrics"] = result.metrics
+    if result.service is not None:
+        out["service"] = result.service
     return out
 
 
@@ -83,6 +91,7 @@ def run_result_from_dict(data: Dict) -> RunResult:
     # added after format version 1 files were first written; default for old files
     fields["faults"] = data.get("faults", 0)
     fields["metrics"] = data.get("metrics")
+    fields["service"] = data.get("service")
     return RunResult(events=None, **fields)
 
 
@@ -172,7 +181,7 @@ def _config_to_dict(cfg) -> Dict:
     reloaded configs compare equal to the originals.  This is also the
     wire form ``repro.serve`` jobs carry their configs in.
     """
-    return {
+    out = {
         "app_name": cfg.app_name,
         "network": cfg.network,
         "procs_per_group": cfg.procs_per_group,
@@ -192,6 +201,11 @@ def _config_to_dict(cfg) -> Dict:
         "trace": asdict(cfg.trace) if cfg.trace is not None else None,
         "system": cfg.system.to_dict() if cfg.system is not None else None,
     }
+    # Omitted when absent so pre-service trace headers / persisted files
+    # keep their exact bytes (the loader tolerates the missing key).
+    if cfg.service is not None:
+        out["service"] = asdict(cfg.service)
+    return out
 
 
 def _config_from_dict(data: Dict):
@@ -211,6 +225,10 @@ def _config_from_dict(data: Dict):
         fields["trace"] = TraceParams(**fields["trace"])
     else:
         fields.pop("trace", None)  # absent in pre-trace files
+    if fields.get("service") is not None:
+        fields["service"] = ServiceConfig(**fields["service"])
+    else:
+        fields.pop("service", None)  # absent in pre-service files
     if fields.get("system") is not None:
         from ..distsys import SystemSpec
 

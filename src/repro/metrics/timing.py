@@ -53,6 +53,11 @@ class RunResult:
     #: :meth:`~repro.obs.MetricsRegistry.snapshot` taken at run end;
     #: ``None`` unless the run was traced / given a registry
     metrics: Optional[Dict[str, Any]] = None
+    #: serving-simulator report (:meth:`repro.service.ServiceReport.to_dict`);
+    #: ``None`` unless the run came from :func:`repro.service.simulate_service`.
+    #: Unlike ``metrics`` it is part of the run's *outcome* and survives the
+    #: result cache and the persistence layer.
+    service: Optional[Dict[str, Any]] = None
 
     @property
     def comm_fraction(self) -> float:

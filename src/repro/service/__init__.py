@@ -1,0 +1,80 @@
+"""DLB as a request router: the shard/replica serving simulator.
+
+The paper balances *grids* carrying solver work; this package balances
+*shards* carrying request load -- and deliberately changes nothing else.
+Shards are genuine level-0 grids over a key-space lattice
+(:mod:`~repro.service.shards`), observed request load becomes their
+workloads, and every registered DLB scheme -- the paper's parallel and
+distributed schemes, the SFC curves, the diffusion variants, any user
+registration -- runs unmodified as the shard *migration* policy through
+its own ``global_balance`` / ``local_balance`` hooks, gain/cost gate
+included (:mod:`~repro.service.migration`).
+
+On top of migration sits a second, faster decision layer: per-request
+*replica selection* (:mod:`~repro.service.router`), with round-robin,
+inverse-priority sampling and response-time-EWMA policies behind a
+registry of their own.  Arrivals compose the distsys traffic models
+(diurnal + bursty + flash crowd) with Zipf key popularity
+(:mod:`~repro.service.arrivals`); the event loop
+(:mod:`~repro.service.loop`) serves them through per-processor fluid FIFO
+queues and reports p50/p95/p99 latency, throughput, queue depths, SLO
+violations and migration bytes/stalls (:mod:`~repro.service.report`).
+
+Entry points: set ``ExperimentConfig.service`` and run through the
+harness/executor/daemon as usual, call :func:`simulate_service` directly,
+or use the ``repro route`` CLI.  See ``docs/SERVICE.md``.
+"""
+
+from ..config import ServiceConfig
+from .arrivals import (
+    ARRIVAL_PRESETS,
+    RequestArrivals,
+    ZipfPopularity,
+    available_arrival_presets,
+    make_arrival_model,
+)
+from .loop import simulate_service
+from .migration import MigrationEngine, MigrationOutcome
+from .report import (
+    LatencyHistogram,
+    ServiceReport,
+    format_service_report,
+    report_hash,
+)
+from .router import (
+    EwmaRouter,
+    InversePriorityRouter,
+    RoundRobinRouter,
+    RouterPolicy,
+    RouterState,
+    available_router_policies,
+    make_router_policy,
+    register_router_policy,
+)
+from .shards import ShardMap, build_shard_hierarchy
+
+__all__ = [
+    "ServiceConfig",
+    "simulate_service",
+    "ServiceReport",
+    "LatencyHistogram",
+    "report_hash",
+    "format_service_report",
+    "RouterPolicy",
+    "RouterState",
+    "RoundRobinRouter",
+    "InversePriorityRouter",
+    "EwmaRouter",
+    "register_router_policy",
+    "available_router_policies",
+    "make_router_policy",
+    "ARRIVAL_PRESETS",
+    "available_arrival_presets",
+    "make_arrival_model",
+    "RequestArrivals",
+    "ZipfPopularity",
+    "ShardMap",
+    "build_shard_hierarchy",
+    "MigrationEngine",
+    "MigrationOutcome",
+]

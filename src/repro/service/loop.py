@@ -1,0 +1,358 @@
+"""The serving event loop: ticks, queues, routers and balance points.
+
+:func:`simulate_service` is the service-side analogue of the SAMR runner:
+a deterministic discrete-event loop that serves a request stream against
+shards placed on a :class:`~repro.distsys.system.DistributedSystem`.  Each
+tick it
+
+1. draws per-shard Poisson arrivals (traffic-shaped rate, Zipf key skew),
+2. lets the configured :class:`~repro.service.router.RouterPolicy` split
+   each shard's requests across its replicas,
+3. serves every processor's batch through a fluid FIFO queue -- request
+   ``j`` of a tick arrives ``j/n`` of the way in, departs when the
+   backlog ahead of it has drained at the processor's *effective* service
+   rate (nominal speed x availability, so CPU faults and dropout windows
+   stretch exactly the ticks that overlap them), and its latency also
+   carries the inter-group route time when the replica sits outside the
+   gateway group plus the in-flight stall when its shard is mid-migration,
+4. accumulates latencies into a fixed log-bucket histogram.
+
+At each balance interval the observed per-shard work goes to the
+:class:`~repro.service.migration.MigrationEngine`, which runs the DLB
+scheme's own hooks unchanged; migrations are priced by the cluster
+simulator over topology routes and degrade the moved shards while the
+state transfer is in flight.
+
+Unit discipline: one *request* is ``mean(speed) / service_rate`` work
+units, so a processor's requests/second equals its work-units/second
+divided by work-per-request -- the scheme's gain (seconds of imbalance
+removed) and cost (seconds of state transfer) stay in the same currency
+they have in an AMR run.
+
+Every random draw is a counter-based Philox hash of ``(seed, tick)``:
+same config + seed => bit-identical report, in process, across executor
+workers, and under the serving daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import ServiceConfig
+from ..core.registry import make_scheme
+from ..distsys.events import FaultEvent
+from ..distsys.simulator import ClusterSimulator
+from ..metrics.timing import RunResult
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from .arrivals import RequestArrivals, ZipfPopularity, make_arrival_model
+from .migration import MigrationEngine
+from .report import LatencyHistogram, ServiceReport
+from .router import RouterState, make_router_policy
+from .shards import ShardMap, build_shard_hierarchy
+
+__all__ = ["simulate_service"]
+
+#: decorrelates the Poisson count stream from the traffic models' draws,
+#: which hash the same user seed with tick-scale counters
+_COUNT_STREAM_OFFSET = 1_000_000_007
+
+#: effective service-rate floor (requests/second): a dropped-out processor
+#: keeps a vanishing residual rate so latencies stay finite (and land in
+#: the histogram's overflow bucket) instead of dividing by zero
+_MIN_RATE = 1e-9
+
+
+def simulate_service(
+    config,
+    scheme: str = "distributed",
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    system=None,
+) -> RunResult:
+    """Run the serving simulator for ``config.service`` under ``scheme``.
+
+    ``config`` is an :class:`~repro.harness.experiment.ExperimentConfig`
+    whose ``service`` field is set; the system, traffic weather and fault
+    schedule come from the ordinary harness factories, so a paired
+    comparison of migration schemes sees identical weather -- and a
+    ``dropout`` fault scenario is a replica dropout: the affected
+    processors' effective service rate collapses for the window.
+
+    ``system`` overrides the config-built system (the sequential
+    reference runs the same workload on one processor).  Returns a
+    :class:`~repro.metrics.timing.RunResult` whose ``service`` field
+    carries the :class:`~repro.service.report.ServiceReport` dict.
+    """
+    svc: ServiceConfig = config.service
+    if svc is None:
+        raise ValueError("config.service is not set")
+    # function-level import: the harness imports repro.service for dispatch
+    from ..harness.experiment import make_faults, make_system
+
+    trc = tracer if tracer is not None else NULL_TRACER
+    schedule = make_faults(config)
+    if system is None:
+        system = make_system(config)
+    if schedule is not None:
+        system = schedule.apply(system)
+    if svc.gateway_group >= system.ngroups:
+        raise ValueError(
+            f"gateway_group {svc.gateway_group} out of range "
+            f"for {system.ngroups} group(s)"
+        )
+    sim = ClusterSimulator(system, fault_schedule=schedule, tracer=trc)
+    trc.bind_clock(lambda: sim.clock)
+
+    scheme_obj = make_scheme(scheme)
+    hierarchy = build_shard_hierarchy(svc.nshards, svc.shard_side)
+    shard_map = ShardMap(hierarchy, system, svc.replication)
+    engine = MigrationEngine(
+        shard_map, sim, scheme_obj,
+        config.sim_params, config.effective_scheme_params(), tracer=trc,
+    )
+    engine.initial_placement()
+
+    popularity = ZipfPopularity(
+        (svc.nshards * svc.shard_side, svc.shard_side),
+        exponent=svc.zipf_exponent, seed=svc.zipf_seed,
+    )
+    arrivals = RequestArrivals(
+        make_arrival_model(svc.arrivals, svc.arrival_seed),
+        svc.requests_per_second, svc.tick_seconds,
+        seed=svc.arrival_seed + _COUNT_STREAM_OFFSET,
+    )
+    router = make_router_policy(
+        svc.router, seed=svc.router_seed, warmup_ticks=svc.warmup_ticks,
+    )
+    nprocs = system.nprocs
+    router.reset(nprocs)
+    state = RouterState(nprocs)
+
+    # calibration: requests <-> work units (see module docstring)
+    speeds = np.asarray(system.speed_by_pid, dtype=np.float64)
+    mean_speed = float(speeds.mean())
+    work_per_request = mean_speed / svc.service_rate
+    rate_scale = svc.service_rate / mean_speed  # rate = speed * avail * this
+    pid_group = np.asarray(system.pid_groups, dtype=np.int64)
+
+    dt = svc.tick_seconds
+    nticks = svc.nticks
+    slo_seconds = svc.slo_ms / 1e3
+    stall_seconds = svc.migration_stall_ms / 1e3
+
+    hist = LatencyHistogram()
+    backlog = np.zeros(nprocs, dtype=np.float64)
+    total_requests = 0
+    slo_violations = 0
+    stalled_requests = 0
+    migrations = 0
+    migration_bytes = 0.0
+    migration_stall_total = 0.0
+    queue_depth_max = 0.0
+    requests_by_gid: Dict[int, int] = {}
+
+    # shard-order caches, refreshed after every balance point (placement,
+    # and under splits the shard set itself, change only there)
+    def _refresh_shard_caches():
+        gids = [int(g) for g in shard_map.gids]
+        shares = popularity.shard_shares(shard_map.boxes())
+        rep_pids, rep_mask = shard_map.replica_matrix()
+        return gids, shares, rep_pids, rep_mask
+
+    gids, shares, rep_pids, rep_mask = _refresh_shard_caches()
+    interval_shard_requests = np.zeros(len(gids), dtype=np.int64)
+    interval_pid_requests = np.zeros(nprocs, dtype=np.float64)
+    stall_until = -1.0
+    stalled_gids: set = set()
+
+    with trc.span("service", scheme=scheme_obj.name, router=svc.router,
+                  arrivals=svc.arrivals):
+        for tick in range(nticks):
+            t = tick * dt
+
+            # ---------------------------------------------------- balance
+            if tick > 0 and tick % svc.balance_every_ticks == 0:
+                work_by_shard = interval_shard_requests * work_per_request
+                per_pid_work = {
+                    int(p): float(interval_pid_requests[p] * work_per_request)
+                    for p in np.flatnonzero(interval_pid_requests)
+                }
+                with trc.span("service-balance", time=t) as span:
+                    outcome = engine.balance(
+                        t, work_by_shard, per_pid_work,
+                        interval=svc.balance_every_ticks * dt,
+                    )
+                    span.set_attributes(moves=outcome.migrations,
+                                        bytes=outcome.bytes_moved,
+                                        duration=outcome.duration)
+                migrations += outcome.migrations
+                migration_bytes += outcome.bytes_moved
+                migration_stall_total += outcome.duration
+                stall_until = t + outcome.duration
+                stalled_gids = set(outcome.moves)
+                gids, shares, rep_pids, rep_mask = _refresh_shard_caches()
+                interval_shard_requests = np.zeros(len(gids), dtype=np.int64)
+                interval_pid_requests = np.zeros(nprocs, dtype=np.float64)
+
+            # ---------------------------------------------------- arrivals
+            counts = arrivals.counts_for_tick(tick, shares)
+            n_tick = int(counts.sum())
+            total_requests += n_tick
+            interval_shard_requests += counts
+            for i, gid in enumerate(gids):
+                c = int(counts[i])
+                if c:
+                    requests_by_gid[gid] = requests_by_gid.get(gid, 0) + c
+
+            # ---------------------------------------------------- routing
+            state.tick = tick
+            alloc = router.route_tick(counts, rep_pids, rep_mask, state)
+
+            # per-group network latency at this tick's weather
+            net_by_group = np.zeros(system.ngroups, dtype=np.float64)
+            for g in range(system.ngroups):
+                if g != svc.gateway_group:
+                    route = system.route_between(svc.gateway_group, g)
+                    net_by_group[g] = route.transfer_time(svc.request_bytes, t)
+
+            # group this tick's requests by serving pid, preserving the
+            # row-major (shard, replica) order as the FIFO arrival order
+            in_flight = t < stall_until
+            batches: Dict[int, List] = {}
+            for s, r in zip(*np.nonzero(alloc)):
+                k = int(alloc[s, r])
+                pid = int(rep_pids[s, r])
+                extra = float(net_by_group[pid_group[pid]])
+                if in_flight and gids[s] in stalled_gids:
+                    extra += stall_seconds
+                    stalled_requests += k
+                batches.setdefault(pid, []).append((k, extra))
+
+            # ---------------------------------------------------- serving
+            avail = np.fromiter(
+                (system.processor(p).availability(t) for p in range(nprocs)),
+                dtype=np.float64, count=nprocs,
+            )
+            mu = np.maximum(speeds * avail * rate_scale, _MIN_RATE)
+            arrived = np.zeros(nprocs, dtype=np.float64)
+            for pid, parts in sorted(batches.items()):
+                n = sum(k for k, _ in parts)
+                arrived[pid] = n
+                interval_pid_requests[pid] += n
+                b0 = backlog[pid]
+                m = mu[pid]
+                j = np.arange(n, dtype=np.float64)
+                # fluid FIFO: request j arrives j/n into the tick, departs
+                # once the b0 + j requests ahead of it have drained
+                queue_lat = np.maximum((b0 + j + 1.0) / m - (j / n) * dt, 1.0 / m)
+                extras = np.repeat(
+                    np.fromiter((e for _, e in parts), dtype=np.float64,
+                                count=len(parts)),
+                    np.fromiter((k for k, _ in parts), dtype=np.int64,
+                                count=len(parts)),
+                )
+                lat = queue_lat + extras
+                hist.observe_array(lat)
+                slo_violations += int((lat > slo_seconds).sum())
+                mean_lat = float(lat.mean())
+                prev = state.ewma_latency[pid]
+                state.ewma_latency[pid] = (
+                    mean_lat if prev == 0.0
+                    else (1.0 - svc.ewma_alpha) * prev + svc.ewma_alpha * mean_lat
+                )
+            # every queue drains for the tick, served-into or not
+            backlog = np.maximum(backlog + arrived - mu * dt, 0.0)
+            state.queue_depth = backlog.copy()
+            queue_depth_max = max(queue_depth_max, float(backlog.max()))
+
+    # -------------------------------------------------------------- report
+    duration = nticks * dt
+    state_cells = shard_map.state_cells()
+    placement = shard_map.placement()
+    per_shard = [
+        {
+            "gid": gid,
+            "requests": requests_by_gid.get(gid, 0),
+            "primary": placement[gid],
+            "state_cells": int(state_cells[i]),
+            "share": float(shares[i]),
+        }
+        for i, gid in enumerate(gids)
+    ]
+    report = ServiceReport(
+        router=svc.router,
+        scheme=scheme_obj.name,
+        arrivals=svc.arrivals,
+        nticks=nticks,
+        tick_seconds=dt,
+        duration=duration,
+        total_requests=total_requests,
+        throughput_rps=total_requests / duration,
+        latency=hist,
+        p50=hist.quantile(0.50),
+        p95=hist.quantile(0.95),
+        p99=hist.quantile(0.99),
+        mean_latency=hist.mean,
+        max_latency=hist.max if hist.max is not None else 0.0,
+        slo_ms=svc.slo_ms,
+        slo_violations=slo_violations,
+        stalled_requests=stalled_requests,
+        migrations=migrations,
+        migration_bytes=migration_bytes,
+        migration_stall_seconds=migration_stall_total,
+        balance_invocations=engine.balance_invocations,
+        redistributions=engine.redistributions,
+        decisions=len(engine.decisions),
+        queue_depth_max=queue_depth_max,
+        final_backlog=float(backlog.sum()),
+        per_shard=per_shard,
+    )
+    if metrics is not None:
+        _emit_metrics(metrics, report)
+    result = RunResult(
+        scheme=scheme_obj.name,
+        app=f"service:{svc.arrivals}",
+        system="+".join(str(g.nprocs) for g in system.groups) + "procs",
+        nsteps=nticks,
+        total_time=duration,
+        compute_time=sim.compute_time,
+        comm_time=sim.comm_time,
+        balance_overhead=sim.balance_overhead,
+        probe_time=sim.probe_time,
+        local_comm_busy=sim.local_comm_busy,
+        remote_comm_busy=sim.remote_comm_busy,
+        comm_by_purpose=dict(sim.comm_time_by_purpose),
+        remote_bytes_by_kind=dict(sim.remote_bytes_by_kind),
+        final_grids=shard_map.nshards,
+        final_cells=int(state_cells.sum()),
+        redistributions=engine.redistributions,
+        decisions=len(engine.decisions),
+        faults=len(sim.log.of_type(FaultEvent)),
+        events=sim.log,
+        metrics=metrics.snapshot() if metrics is not None else None,
+        service=report.to_dict(),
+    )
+    return result
+
+
+def _emit_metrics(registry: MetricsRegistry, report: ServiceReport) -> None:
+    """Publish the report's headline numbers as obs metrics."""
+    labels = dict(scheme=report.scheme, router=report.router,
+                  arrivals=report.arrivals)
+    registry.counter("service_requests_total", **labels).inc(
+        report.total_requests)
+    registry.counter("service_slo_violations_total", **labels).inc(
+        report.slo_violations)
+    registry.counter("service_migrations_total", **labels).inc(
+        report.migrations)
+    registry.gauge("service_throughput_rps", **labels).set(
+        report.throughput_rps)
+    registry.gauge("service_latency_p50_seconds", **labels).set(report.p50)
+    registry.gauge("service_latency_p99_seconds", **labels).set(report.p99)
+    registry.gauge("service_migration_bytes", **labels).set(
+        report.migration_bytes)
+    registry.gauge("service_queue_depth_max", **labels).set(
+        report.queue_depth_max)

@@ -1,0 +1,266 @@
+"""Replica-selection policies: the per-request decision layer.
+
+Migration (the paper's gate) decides *where shards live*; the router
+decides *which replica serves each request*.  Three built-ins, each
+modelled on a real request router:
+
+``round-robin``
+    Deterministic rotation across a shard's replicas -- the classic
+    baseline.  No feedback, no randomness.
+
+``inverse-priority``
+    succinct-cpp's ``DynamicLoadBalancer``: each replica's *priority* is
+    its current queue depth; sampling weights are the normalised inverse
+    priorities, turned into a cumulative distribution and sampled per
+    request.  Here the per-request draws of one tick collapse into one
+    multinomial draw per shard from ``Philox(key=seed, counter=tick)`` --
+    distribution-identical and deterministic.
+
+``ewma``
+    dracuda's response-time balancer: during a warm-up phase requests
+    split evenly while response-time statistics accumulate; afterwards
+    replica weights are the normalised inverse EWMA response times
+    (``calc_naive``: ``w_i = (1/rt_i) / sum(1/rt)``), apportioned
+    deterministically by largest remainder.
+
+Policies register by name, mirroring the scheme registry
+(:mod:`repro.core.registry`): third-party routers plug into
+``ServiceConfig.router``, the CLI and the sweeps exactly like custom
+schemes do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "RouterPolicy",
+    "RouterState",
+    "RoundRobinRouter",
+    "InversePriorityRouter",
+    "EwmaRouter",
+    "register_router_policy",
+    "available_router_policies",
+    "make_router_policy",
+]
+
+
+class RouterState:
+    """The loop-owned feedback the routers read (never write).
+
+    ``queue_depth[p]`` is processor ``p``'s backlog (requests) at tick
+    start; ``ewma_latency[p]`` is the exponentially-weighted mean response
+    time of requests it served (0 until it served any).
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        self.queue_depth = np.zeros(nprocs, dtype=np.float64)
+        self.ewma_latency = np.zeros(nprocs, dtype=np.float64)
+        self.tick = 0
+
+
+class RouterPolicy:
+    """Base class: split each shard's tick arrivals across its replicas."""
+
+    name = "abstract"
+
+    def reset(self, nprocs: int) -> None:
+        """Called once before the first tick; clear any per-run state."""
+
+    def route_tick(
+        self,
+        counts: np.ndarray,
+        replicas: np.ndarray,
+        mask: np.ndarray,
+        state: RouterState,
+    ) -> np.ndarray:
+        """Allocate ``counts[s]`` requests over ``replicas[s, :]``.
+
+        Returns an ``(S, R)`` int64 allocation with row sums equal to
+        ``counts`` and zeros where ``mask`` is False.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _largest_remainder(counts: np.ndarray, probs: np.ndarray,
+                           mask: np.ndarray) -> np.ndarray:
+        """Deterministic apportionment of ``counts[s]`` by ``probs[s, :]``.
+
+        Floor the exact shares, then hand the leftover units to the
+        largest fractional parts (ties resolved to the lowest replica
+        index -- a stable argsort).
+        """
+        S, R = probs.shape
+        exact = counts[:, None] * probs
+        alloc = np.floor(exact).astype(np.int64)
+        short = counts - alloc.sum(axis=1)
+        frac = np.where(mask, exact - alloc, -1.0)
+        order = np.argsort(-frac, axis=1, kind="stable")
+        take = np.arange(R)[None, :] < short[:, None]
+        extra = np.zeros_like(alloc)
+        np.put_along_axis(extra, order, take.astype(np.int64), axis=1)
+        return alloc + extra
+
+
+class RoundRobinRouter(RouterPolicy):
+    """Even rotation across replicas; remainder units rotate between ticks."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._offsets: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def reset(self, nprocs: int) -> None:
+        self._offsets = np.zeros(0, dtype=np.int64)
+
+    def route_tick(self, counts, replicas, mask, state):
+        S, R = replicas.shape
+        if len(self._offsets) != S:
+            # shard set changed (splits); restart rotation at slot 0
+            self._offsets = np.zeros(S, dtype=np.int64)
+        nrep = np.maximum(mask.sum(axis=1), 1)
+        base = counts // nrep
+        rem = counts % nrep
+        alloc = base[:, None] * mask.astype(np.int64)
+        # hand the remainder to `rem` consecutive valid slots starting at
+        # the rotating offset
+        slot = np.cumsum(mask, axis=1) - 1  # valid-slot index per column
+        rel = (slot - self._offsets[:, None]) % nrep[:, None]
+        alloc += ((rel < rem[:, None]) & mask).astype(np.int64)
+        self._offsets = (self._offsets + rem) % nrep
+        return alloc
+
+
+class InversePriorityRouter(RouterPolicy):
+    """succinct-cpp: sample replicas ~ normalised inverse queue depth."""
+
+    name = "inverse-priority"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def route_tick(self, counts, replicas, mask, state):
+        S, R = replicas.shape
+        priority = state.queue_depth[replicas] + 1.0  # depth 0 -> priority 1
+        weights = np.where(mask, 1.0 / priority, 0.0)
+        totals = weights.sum(axis=1, keepdims=True)
+        probs = np.divide(weights, totals, out=np.zeros_like(weights),
+                          where=totals > 0)
+        rng = np.random.Generator(
+            np.random.Philox(key=self.seed, counter=state.tick)
+        )
+        alloc = np.zeros((S, R), dtype=np.int64)
+        for s in range(S):  # shard order: the deterministic draw sequence
+            n = int(counts[s])
+            if n == 0:
+                continue
+            alloc[s] = rng.multinomial(n, probs[s])
+        return alloc
+
+
+class EwmaRouter(RouterPolicy):
+    """dracuda: warm-up evenly, then weight by inverse EWMA response time."""
+
+    name = "ewma"
+
+    def __init__(self, warmup_ticks: int = 5) -> None:
+        if warmup_ticks < 0:
+            raise ValueError(f"warmup_ticks must be >= 0, got {warmup_ticks}")
+        self.warmup_ticks = int(warmup_ticks)
+
+    def route_tick(self, counts, replicas, mask, state):
+        S, R = replicas.shape
+        nrep = np.maximum(mask.sum(axis=1), 1)
+        even = mask / nrep[:, None]
+        if state.tick < self.warmup_ticks:
+            return self._largest_remainder(counts, even, mask)
+        rt = state.ewma_latency[replicas]
+        inv = np.divide(1.0, rt, out=np.zeros_like(rt), where=mask & (rt > 0))
+        totals = inv.sum(axis=1, keepdims=True)
+        probs = np.divide(inv, totals, out=np.zeros_like(inv), where=totals > 0)
+        # replicas with no signal yet (or rows with no signal at all) fall
+        # back to the even split -- dracuda keeps serving while learning
+        no_signal = totals[:, 0] <= 0
+        probs[no_signal] = even[no_signal]
+        return self._largest_remainder(counts, probs, mask)
+
+
+# --------------------------------------------------------------------- #
+# registry (mirrors repro.core.registry's discipline)
+# --------------------------------------------------------------------- #
+
+_ROUTER_POLICIES: Dict[str, Callable[..., RouterPolicy]] = {}
+
+
+def register_router_policy(name: str, factory: Callable[..., RouterPolicy],
+                           *, replace: bool = False) -> None:
+    """Register a replica-selection policy under ``name``.
+
+    ``factory`` is called with the keyword options
+    :func:`make_router_policy` receives (unknown options raise there, not
+    here).  Registering an existing name requires ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"router policy name must be a non-empty string, got {name!r}")
+    if name in _ROUTER_POLICIES and not replace:
+        raise ValueError(
+            f"router policy {name!r} is already registered (pass replace=True)"
+        )
+    _ROUTER_POLICIES[name] = factory
+
+
+def available_router_policies() -> List[str]:
+    """Registered router names, sorted."""
+    return sorted(_ROUTER_POLICIES)
+
+
+def make_router_policy(name: str, **options) -> RouterPolicy:
+    """Instantiate a registered router policy.
+
+    Options not accepted by the policy's factory raise ``TypeError`` --
+    the same leftover-option strictness ``build_policies`` applies to
+    scheme options.
+    """
+    try:
+        factory = _ROUTER_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown router policy {name!r}; "
+            f"available: {', '.join(available_router_policies())}"
+        ) from None
+    return factory(**options)
+
+
+def _make_round_robin(**options) -> RouterPolicy:
+    options.pop("seed", None)        # stateless rotation: seed-free
+    options.pop("warmup_ticks", None)
+    if options:
+        raise TypeError(f"round-robin takes no options, got {sorted(options)}")
+    return RoundRobinRouter()
+
+
+def _make_inverse_priority(**options) -> RouterPolicy:
+    seed = options.pop("seed", 0)
+    options.pop("warmup_ticks", None)
+    if options:
+        raise TypeError(f"inverse-priority options left over: {sorted(options)}")
+    return InversePriorityRouter(seed=seed)
+
+
+def _make_ewma(**options) -> RouterPolicy:
+    warmup = options.pop("warmup_ticks", 5)
+    options.pop("seed", None)        # deterministic apportionment: seed-free
+    if options:
+        raise TypeError(f"ewma options left over: {sorted(options)}")
+    return EwmaRouter(warmup_ticks=warmup)
+
+
+register_router_policy("round-robin", _make_round_robin)
+register_router_policy("inverse-priority", _make_inverse_priority)
+register_router_policy("ewma", _make_ewma)

@@ -29,6 +29,7 @@ EXPECTED_API = [
     "FaultParams",
     "ExecParams",
     "TraceParams",
+    "ServiceConfig",
     "sequential_config",
     # system construction
     "SystemSpec",
@@ -116,6 +117,16 @@ EXPECTED_API = [
     "register_synth_workload",
     "available_synth_workloads",
     "make_synth_workload",
+    # serving simulator (DLB as a request router)
+    "simulate_service",
+    "ServiceReport",
+    "LatencyHistogram",
+    "report_hash",
+    "format_service_report",
+    "register_router_policy",
+    "available_router_policies",
+    "make_router_policy",
+    "available_arrival_presets",
     # persistence
     "save_run",
     "load_run",

@@ -10,9 +10,12 @@ from hypothesis import strategies as st
 from repro.distsys.traffic import (
     MAX_OCCUPANCY,
     BurstyTraffic,
+    ComposedTraffic,
     ConstantTraffic,
     DiurnalTraffic,
+    FlashCrowdTraffic,
     NoTraffic,
+    OverlaidTraffic,
     TraceTraffic,
 )
 
@@ -94,6 +97,116 @@ class TestBurstyTraffic:
             BurstyTraffic(burst_probability=1.5)
         with pytest.raises(ValueError):
             BurstyTraffic(burst=0.99)
+
+
+class TestFlashCrowdTraffic:
+    def test_deterministic(self):
+        a = FlashCrowdTraffic(seed=11)
+        b = FlashCrowdTraffic(seed=11)
+        for t in np.linspace(0, 1000, 73):
+            assert a.occupancy(t) == b.occupancy(t)
+
+    @given(times)
+    def test_clamped(self, t):
+        m = FlashCrowdTraffic(seed=2, base=0.3, peak=0.9,
+                              crowd_probability=1.0)
+        assert 0.0 <= m.occupancy(t) <= MAX_OCCUPANCY
+
+    def test_no_pre_history_window(self):
+        m = FlashCrowdTraffic(seed=0)
+        assert m.crowd_in_window(-1) is None
+
+    def test_onset_in_first_half_of_window(self):
+        m = FlashCrowdTraffic(seed=5, crowd_probability=1.0,
+                              window_seconds=100.0)
+        for w in range(20):
+            onset, peak = m.crowd_in_window(w)
+            assert w * 100.0 <= onset <= (w + 0.5) * 100.0
+            assert peak == m.peak
+
+    def test_linear_onset_then_exponential_decay(self):
+        m = FlashCrowdTraffic(seed=3, base=0.1, peak=0.5,
+                              crowd_probability=1.0, window_seconds=1000.0,
+                              onset_seconds=4.0, decay_seconds=10.0)
+        onset, peak = m.crowd_in_window(0)
+        # before the crowd: base only
+        assert m.occupancy(max(onset - 1.0, 0.0)) == pytest.approx(0.1)
+        # halfway through the onset ramp
+        assert m.occupancy(onset + 2.0) == pytest.approx(0.1 + 0.25)
+        # at the peak
+        assert m.occupancy(onset + 4.0) == pytest.approx(0.6)
+        # one decay constant later: peak * e^-1 on top of base
+        assert m.occupancy(onset + 14.0) == pytest.approx(
+            0.1 + 0.5 * np.exp(-1.0))
+
+    def test_extreme_probabilities(self):
+        never = FlashCrowdTraffic(seed=0, base=0.2, crowd_probability=0.0)
+        for t in np.linspace(0, 500, 23):
+            assert never.occupancy(t) == 0.2
+        always = FlashCrowdTraffic(seed=0, crowd_probability=1.0)
+        assert all(always.crowd_in_window(w) is not None for w in range(10))
+
+    def test_crowd_probability_respected(self):
+        m = FlashCrowdTraffic(seed=9, crowd_probability=0.4)
+        frac = sum(m.crowd_in_window(w) is not None
+                   for w in range(4000)) / 4000
+        assert 0.35 < frac < 0.45
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(window_seconds=0)
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(onset_seconds=0)
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(decay_seconds=-1)
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(crowd_probability=1.2)
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(base=0.99)
+        with pytest.raises(ValueError):
+            FlashCrowdTraffic(peak=-0.1)
+
+
+class TestComposedTraffic:
+    """The composition-clamp audit: one clamp, after the sum."""
+
+    PARTS = (
+        DiurnalTraffic(mean=0.3, amplitude=0.2, period=240.0),
+        BurstyTraffic(seed=7, base=0.0, burst=0.3, burst_probability=0.25,
+                      bucket_seconds=10.0),
+        FlashCrowdTraffic(seed=8, base=0.0, peak=0.6, crowd_probability=0.7,
+                          window_seconds=60.0),
+    )
+
+    def test_plain_sum_below_saturation(self):
+        m = ComposedTraffic((ConstantTraffic(0.2), ConstantTraffic(0.3)))
+        assert m.occupancy(5.0) == pytest.approx(0.5)
+
+    @given(times)
+    def test_composite_never_exceeds_max(self, t):
+        m = ComposedTraffic(self.PARTS)
+        assert 0.0 <= m.occupancy(t) <= MAX_OCCUPANCY
+
+    @given(times)
+    def test_equivalent_to_nested_overlays(self, t):
+        """For non-negative sources, nesting pairwise OverlaidTraffic
+        clamps is numerically identical to the single post-sum clamp:
+        ``min(C, min(C, a+b) + c) == min(C, a+b+c)``."""
+        composed = ComposedTraffic(self.PARTS)
+        nested = OverlaidTraffic(
+            base=OverlaidTraffic(base=self.PARTS[0], extra=self.PARTS[1]),
+            extra=self.PARTS[2])
+        assert composed.occupancy(t) == pytest.approx(nested.occupancy(t))
+
+    def test_saturating_stack_clamps_to_max_exactly(self):
+        # three 0.5 sources sum to 1.5 -> clamped to MAX_OCCUPANCY, so the
+        # effective-bandwidth floor (1 - MAX_OCCUPANCY) survives any stack
+        m = ComposedTraffic(tuple(ConstantTraffic(0.5) for _ in range(3)))
+        assert m.occupancy(0.0) == MAX_OCCUPANCY
+        assert 1.0 - m.occupancy(0.0) == pytest.approx(1.0 - MAX_OCCUPANCY)
+
+    def test_empty_composition_is_silence(self):
+        assert ComposedTraffic(()).occupancy(3.0) == 0.0
 
 
 class TestTraceTraffic:
